@@ -1,0 +1,58 @@
+// Micro-benchmark (google-benchmark): allocate/release throughput of every
+// strategy under steady churn on the paper's 16×22 mesh. GABL pays for its
+// exhaustive largest-free searches; Paging(0) and MBS are near-constant
+// time. The paper argues GABL's busy list "is often small even when the size
+// of the mesh scales up" — the Mesh32x44 variants probe that scaling claim.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "des/distributions.hpp"
+#include "des/rng.hpp"
+
+namespace {
+
+using namespace procsim;
+
+void churn(benchmark::State& state, core::AllocatorKind kind, std::int32_t w,
+           std::int32_t l) {
+  const mesh::Geometry geom(w, l);
+  core::AllocatorSpec spec;
+  spec.kind = kind;
+  const auto alloc = core::make_allocator(spec, geom, 1);
+  des::Xoshiro256SS rng(99);
+
+  std::vector<alloc::Placement> held;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const auto rw =
+        static_cast<std::int32_t>(des::sample_uniform_int(rng, 1, geom.width() / 2));
+    const auto rl =
+        static_cast<std::int32_t>(des::sample_uniform_int(rng, 1, geom.length() / 2));
+    if (auto p = alloc->allocate(alloc::Request{rw, rl, rw * rl})) {
+      held.push_back(std::move(*p));
+    }
+    // Keep occupancy around half: release oldest when the mesh fills up.
+    while (alloc->free_processors() < geom.nodes() / 2 && !held.empty()) {
+      alloc->release(held.front());
+      held.erase(held.begin());
+    }
+    ++ops;
+  }
+  for (const auto& p : held) alloc->release(p);
+  state.SetItemsProcessed(ops);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(churn, GABL_16x22, core::AllocatorKind::kGabl, 16, 22);
+BENCHMARK_CAPTURE(churn, Paging0_16x22, core::AllocatorKind::kPaging, 16, 22);
+BENCHMARK_CAPTURE(churn, MBS_16x22, core::AllocatorKind::kMbs, 16, 22);
+BENCHMARK_CAPTURE(churn, FirstFit_16x22, core::AllocatorKind::kFirstFit, 16, 22);
+BENCHMARK_CAPTURE(churn, BestFit_16x22, core::AllocatorKind::kBestFit, 16, 22);
+BENCHMARK_CAPTURE(churn, Random_16x22, core::AllocatorKind::kRandom, 16, 22);
+BENCHMARK_CAPTURE(churn, GABL_32x44, core::AllocatorKind::kGabl, 32, 44);
+BENCHMARK_CAPTURE(churn, Paging0_32x44, core::AllocatorKind::kPaging, 32, 44);
+BENCHMARK_CAPTURE(churn, MBS_32x44, core::AllocatorKind::kMbs, 32, 44);

@@ -1,0 +1,42 @@
+// Micro-benchmark (google-benchmark): raw event throughput of the wormhole
+// network simulator — uniform random traffic on the paper's 16×22 mesh and a
+// scaled 32×32, mesh vs torus. This bounds how expensive the figure sweeps
+// are and catches event-loop regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "des/rng.hpp"
+#include "des/simulator.hpp"
+#include "network/wormhole_network.hpp"
+
+namespace {
+
+using namespace procsim;
+
+void uniform_traffic(benchmark::State& state, std::int32_t w, std::int32_t l,
+                     bool torus) {
+  const mesh::Geometry geom(w, l);
+  const auto batch = static_cast<int>(state.range(0));
+  std::uint64_t delivered_total = 0;
+  for (auto _ : state) {
+    des::Simulator sim;
+    network::WormholeNetwork net(sim, geom, network::NetworkParams{3, 8, torus});
+    des::Xoshiro256SS rng(5);
+    for (int i = 0; i < batch; ++i) {
+      const auto s =
+          static_cast<mesh::NodeId>(rng() % static_cast<std::uint64_t>(geom.nodes()));
+      auto t = static_cast<mesh::NodeId>(rng() % static_cast<std::uint64_t>(geom.nodes()));
+      if (t == s) t = (t + 1) % geom.nodes();
+      net.inject(s, t, static_cast<std::uint64_t>(i));
+    }
+    sim.run();
+    delivered_total += net.metrics().delivered;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered_total));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(uniform_traffic, Mesh16x22, 16, 22, false)->Arg(1000)->Arg(5000);
+BENCHMARK_CAPTURE(uniform_traffic, Torus16x22, 16, 22, true)->Arg(1000)->Arg(5000);
+BENCHMARK_CAPTURE(uniform_traffic, Mesh32x32, 32, 32, false)->Arg(1000)->Arg(5000);

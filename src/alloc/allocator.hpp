@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mesh/coord.hpp"
+#include "mesh/mesh_state.hpp"
+#include "mesh/submesh.hpp"
+
+namespace procsim::alloc {
+
+/// An allocation request. Stochastic workloads request a sub-mesh shape
+/// (a = width, b = length) with processors == a*b; trace-driven workloads
+/// request `processors` directly and the shape is a derived bounding hint
+/// (see workload::shape_for_processors).
+struct Request {
+  std::int32_t width{1};       ///< a
+  std::int32_t length{1};      ///< b
+  std::int32_t processors{1};  ///< p, the processors that actually compute
+};
+
+/// The outcome of a successful allocation.
+struct Placement {
+  /// Disjoint rectangles whose processors are held by the job.
+  std::vector<mesh::SubMesh> blocks;
+  /// Exactly `Request::processors` node ids that run the job and exchange
+  /// messages; a subset of the blocks' nodes in deterministic scan order.
+  std::vector<mesh::NodeId> compute_nodes;
+  /// Total processors held — may exceed compute_nodes.size() (internal
+  /// fragmentation: Paging with pages > 1 node, GABL's a*b bounding).
+  std::int32_t allocated{0};
+  /// Strategy-private bookkeeping (page indices, buddy block ids).
+  std::vector<std::int32_t> tags;
+};
+
+/// Common interface of every allocation strategy. Each strategy owns the
+/// mesh occupancy (one strategy drives one simulated machine) plus whatever
+/// auxiliary index it needs, and guarantees:
+///   * allocate() either returns a Placement of disjoint, previously-free
+///     blocks (now marked busy) or changes nothing;
+///   * release() returns exactly the Placement's blocks to the free pool.
+class Allocator {
+ public:
+  explicit Allocator(mesh::Geometry geom) : state_(geom) {}
+  virtual ~Allocator() = default;
+
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  /// Attempts to place `req` now; nullopt means the request must wait.
+  [[nodiscard]] virtual std::optional<Placement> allocate(const Request& req) = 0;
+
+  /// Returns a placement obtained from allocate() on this allocator.
+  virtual void release(const Placement& placement) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when the strategy is non-contiguous in the paper's sense:
+  /// allocation succeeds whenever enough processors are free, regardless of
+  /// their arrangement (no external fragmentation).
+  [[nodiscard]] virtual bool is_noncontiguous() const = 0;
+
+  /// Restores the pristine empty mesh (between replications).
+  virtual void reset() { state_.clear(); }
+
+  [[nodiscard]] const mesh::MeshState& state() const noexcept { return state_; }
+  [[nodiscard]] const mesh::Geometry& geometry() const noexcept {
+    return state_.geometry();
+  }
+  [[nodiscard]] std::int32_t free_processors() const noexcept {
+    return state_.free_count();
+  }
+
+ protected:
+  [[nodiscard]] mesh::MeshState& mutable_state() noexcept { return state_; }
+
+  /// Fills placement.compute_nodes with the first `p` nodes of the blocks in
+  /// block order (row-major inside each block) and sets `allocated`.
+  static void finalize_placement(Placement& placement, const mesh::Geometry& geom,
+                                 std::int32_t p);
+
+ private:
+  mesh::MeshState state_;
+};
+
+/// Validates a request against a geometry (shared by all strategies).
+/// Throws std::invalid_argument for non-positive or oversized requests.
+void validate_request(const Request& req, const mesh::Geometry& geom);
+
+}  // namespace procsim::alloc

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace procsim::alloc {
+
+/// Placement rule of the contiguous baselines.
+enum class ContiguousPolicy {
+  kFirstFit,  ///< lowest row-major base that fits (Zhu 1992)
+  kBestFit,   ///< fitting base with the fewest free border nodes
+};
+
+/// Contiguous sub-mesh allocation: the job gets a single free a×b sub-mesh
+/// (rotation allowed) or waits. The paper's motivating baseline: contiguity
+/// preserves network locality but suffers external fragmentation — a request
+/// can starve while more than enough processors sit free but scattered.
+class ContiguousAllocator final : public Allocator {
+ public:
+  ContiguousAllocator(mesh::Geometry geom, ContiguousPolicy policy)
+      : Allocator(geom), policy_(policy) {}
+
+  [[nodiscard]] std::optional<Placement> allocate(const Request& req) override;
+  void release(const Placement& placement) override;
+  [[nodiscard]] std::string name() const override {
+    return policy_ == ContiguousPolicy::kFirstFit ? "FirstFit" : "BestFit";
+  }
+  [[nodiscard]] bool is_noncontiguous() const override { return false; }
+
+ private:
+  ContiguousPolicy policy_;
+};
+
+}  // namespace procsim::alloc

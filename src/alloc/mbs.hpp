@@ -1,0 +1,42 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "mesh/buddy.hpp"
+
+namespace procsim::alloc {
+
+/// Multiple Buddy Strategy (Lo et al., TPDS 1997).
+///
+/// The requested processor count p is factorised base 4,
+///   p = sum_i d_i * (2^i × 2^i),  0 <= d_i <= 3,
+/// and d_i square blocks of side 2^i are requested per order. A missing
+/// block is produced by splitting a larger free square into four buddies; if
+/// no larger square exists the block request itself is broken into four
+/// requests one order down. MBS therefore allocates exactly p processors and
+/// succeeds whenever p processors are free — but it seeks contiguity only
+/// for requests of the form 2^n × 2^n, which is what makes it lose to
+/// Paging(0) on real traces full of non-power-of-two sizes (paper, Fig. 2).
+class MbsAllocator final : public Allocator {
+ public:
+  explicit MbsAllocator(mesh::Geometry geom);
+
+  [[nodiscard]] std::optional<Placement> allocate(const Request& req) override;
+  void release(const Placement& placement) override;
+  [[nodiscard]] std::string name() const override { return "MBS"; }
+  [[nodiscard]] bool is_noncontiguous() const override { return true; }
+  void reset() override;
+
+  /// Base-4 digits of p, least significant first: p = sum d[i] * 4^i.
+  [[nodiscard]] static std::vector<std::int32_t> base4_factorize(std::int32_t p);
+
+  [[nodiscard]] const mesh::BuddyTiling& tiling() const noexcept { return tiling_; }
+
+ private:
+  mesh::BuddyTiling tiling_;
+};
+
+}  // namespace procsim::alloc

@@ -1,0 +1,55 @@
+#include "alloc/paging.hpp"
+
+namespace procsim::alloc {
+
+PagingAllocator::PagingAllocator(mesh::Geometry geom, std::int32_t size_index,
+                                 mesh::PageIndexing indexing)
+    : Allocator(geom),
+      table_(geom, size_index, indexing),
+      page_busy_(table_.page_count(), 0),
+      free_page_count_(table_.page_count()) {}
+
+std::optional<Placement> PagingAllocator::allocate(const Request& req) {
+  validate_request(req, geometry());
+  // Pages are whole allocation units, so under pure Paging the free
+  // processor count equals the capacity of the free pages.
+  if (free_processors() < req.processors) return std::nullopt;
+
+  Placement placement;
+  std::int32_t capacity = 0;
+  for (std::size_t i = 0; i < table_.page_count() && capacity < req.processors; ++i) {
+    if (page_busy_[i]) continue;
+    placement.tags.push_back(static_cast<std::int32_t>(i));
+    placement.blocks.push_back(table_.page(i));
+    capacity += table_.page(i).area();
+  }
+  if (capacity < req.processors) return std::nullopt;  // unreachable under pure Paging
+
+  for (const std::int32_t tag : placement.tags) {
+    page_busy_[static_cast<std::size_t>(tag)] = 1;
+    --free_page_count_;
+  }
+  for (const mesh::SubMesh& b : placement.blocks) mutable_state().allocate(b);
+  finalize_placement(placement, geometry(), req.processors);
+  return placement;
+}
+
+void PagingAllocator::release(const Placement& placement) {
+  for (const std::int32_t tag : placement.tags) {
+    page_busy_.at(static_cast<std::size_t>(tag)) = 0;
+    ++free_page_count_;
+  }
+  for (const mesh::SubMesh& b : placement.blocks) mutable_state().release(b);
+}
+
+std::string PagingAllocator::name() const {
+  return "Paging(" + std::to_string(table_.size_index()) + ")";
+}
+
+void PagingAllocator::reset() {
+  Allocator::reset();
+  std::fill(page_busy_.begin(), page_busy_.end(), std::uint8_t{0});
+  free_page_count_ = table_.page_count();
+}
+
+}  // namespace procsim::alloc

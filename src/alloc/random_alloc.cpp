@@ -1,0 +1,31 @@
+#include "alloc/random_alloc.hpp"
+
+#include "des/distributions.hpp"
+
+namespace procsim::alloc {
+
+std::optional<Placement> RandomAllocator::allocate(const Request& req) {
+  validate_request(req, geometry());
+  if (free_processors() < req.processors) return std::nullopt;
+
+  std::vector<mesh::NodeId> free = state().free_nodes();
+  // Partial Fisher-Yates: draw p distinct nodes uniformly.
+  Placement placement;
+  placement.blocks.reserve(static_cast<std::size_t>(req.processors));
+  for (std::int32_t i = 0; i < req.processors; ++i) {
+    const auto j = static_cast<std::size_t>(des::sample_uniform_int(
+        rng_, i, static_cast<std::int64_t>(free.size()) - 1));
+    std::swap(free[static_cast<std::size_t>(i)], free[j]);
+    const mesh::Coord c = geometry().coord(free[static_cast<std::size_t>(i)]);
+    placement.blocks.push_back(mesh::SubMesh{c.x, c.y, c.x, c.y});
+    mutable_state().allocate(free[static_cast<std::size_t>(i)]);
+  }
+  finalize_placement(placement, geometry(), req.processors);
+  return placement;
+}
+
+void RandomAllocator::release(const Placement& placement) {
+  for (const mesh::SubMesh& blk : placement.blocks) mutable_state().release(blk);
+}
+
+}  // namespace procsim::alloc

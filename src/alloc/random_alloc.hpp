@@ -1,0 +1,26 @@
+#pragma once
+
+#include "alloc/allocator.hpp"
+#include "des/rng.hpp"
+
+namespace procsim::alloc {
+
+/// Fully scattered non-contiguous allocation: p uniformly random free
+/// processors, no contiguity effort at all. Not in the paper's comparison —
+/// it is the lower bound for the `abl_contiguity` ablation, quantifying how
+/// much GABL's contiguity actually buys over "just grab any free nodes".
+class RandomAllocator final : public Allocator {
+ public:
+  RandomAllocator(mesh::Geometry geom, std::uint64_t seed)
+      : Allocator(geom), rng_(seed) {}
+
+  [[nodiscard]] std::optional<Placement> allocate(const Request& req) override;
+  void release(const Placement& placement) override;
+  [[nodiscard]] std::string name() const override { return "Random"; }
+  [[nodiscard]] bool is_noncontiguous() const override { return true; }
+
+ private:
+  des::Xoshiro256SS rng_;
+};
+
+}  // namespace procsim::alloc

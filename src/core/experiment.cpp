@@ -1,0 +1,124 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "alloc/contiguous.hpp"
+#include "alloc/gabl.hpp"
+#include "alloc/mbs.hpp"
+#include "alloc/paging.hpp"
+#include "alloc/random_alloc.hpp"
+#include "workload/swf.hpp"
+
+namespace procsim::core {
+
+std::string AllocatorSpec::label() const {
+  switch (kind) {
+    case AllocatorKind::kGabl: return "GABL";
+    case AllocatorKind::kPaging: return "Paging(" + std::to_string(paging_size_index) + ")";
+    case AllocatorKind::kMbs: return "MBS";
+    case AllocatorKind::kFirstFit: return "FirstFit";
+    case AllocatorKind::kBestFit: return "BestFit";
+    case AllocatorKind::kRandom: return "Random";
+  }
+  return "?";
+}
+
+std::unique_ptr<alloc::Allocator> make_allocator(const AllocatorSpec& spec,
+                                                 mesh::Geometry geom, std::uint64_t seed) {
+  switch (spec.kind) {
+    case AllocatorKind::kGabl:
+      return std::make_unique<alloc::GablAllocator>(geom);
+    case AllocatorKind::kPaging:
+      return std::make_unique<alloc::PagingAllocator>(geom, spec.paging_size_index,
+                                                      spec.paging_indexing);
+    case AllocatorKind::kMbs:
+      return std::make_unique<alloc::MbsAllocator>(geom);
+    case AllocatorKind::kFirstFit:
+      return std::make_unique<alloc::ContiguousAllocator>(geom,
+                                                          alloc::ContiguousPolicy::kFirstFit);
+    case AllocatorKind::kBestFit:
+      return std::make_unique<alloc::ContiguousAllocator>(geom,
+                                                          alloc::ContiguousPolicy::kBestFit);
+    case AllocatorKind::kRandom:
+      return std::make_unique<alloc::RandomAllocator>(geom, seed ^ 0xA110CA7EULL);
+  }
+  throw std::invalid_argument("make_allocator: bad kind");
+}
+
+std::unique_ptr<sched::Scheduler> make_scheduler(sched::Policy policy) {
+  return std::make_unique<sched::OrderedScheduler>(policy);
+}
+
+std::string ExperimentConfig::series_label() const {
+  return allocator.label() + "(" + sched::to_string(scheduler) + ")";
+}
+
+std::vector<workload::Job> build_jobs(const WorkloadSpec& spec, const mesh::Geometry& geom,
+                                      std::int32_t packet_len, std::uint64_t seed) {
+  des::Xoshiro256SS rng(seed);
+  switch (spec.kind) {
+    case WorkloadKind::kStochastic: {
+      workload::StochasticParams p = spec.stochastic;
+      p.packet_len = packet_len;
+      return workload::generate_stochastic(p, geom, spec.job_count, rng);
+    }
+    case WorkloadKind::kTrace: {
+      std::vector<workload::TraceJob> trace =
+          spec.swf_path.empty()
+              ? workload::generate_paragon_trace(spec.paragon, rng)
+              : workload::load_swf_file(spec.swf_path, geom.nodes());
+      const workload::TraceStats st = workload::compute_stats(trace);
+      workload::TraceReplayParams rp = spec.replay;
+      if (spec.load > 0 && st.mean_interarrival > 0)
+        rp.arrival_factor = workload::arrival_factor_for_load(spec.load, st.mean_interarrival);
+      return workload::make_trace_jobs(trace, rp, geom, rng);
+    }
+  }
+  throw std::invalid_argument("build_jobs: bad workload kind");
+}
+
+RunMetrics run_once(const ExperimentConfig& cfg) {
+  const auto allocator = make_allocator(cfg.allocator, cfg.sys.geom, cfg.seed);
+  const auto scheduler = make_scheduler(cfg.scheduler);
+  const std::vector<workload::Job> jobs =
+      build_jobs(cfg.workload, cfg.sys.geom, cfg.sys.net.packet_len, cfg.seed);
+  SystemConfig sys = cfg.sys;
+  sys.seed = cfg.seed ^ 0x5EEDF00DULL;
+  SystemSim sim(sys, *allocator, *scheduler);
+  return sim.run(jobs);
+}
+
+std::map<std::string, double> to_observations(const RunMetrics& m) {
+  return {
+      {"turnaround", m.turnaround.mean()},
+      {"service", m.service.mean()},
+      {"utilization", m.utilization},
+      {"latency", m.packet_latency.mean()},
+      {"blocking", m.packet_blocking.mean()},
+      {"hops", m.packet_hops.mean()},
+      {"queue_length", m.mean_queue_length},
+  };
+}
+
+AggregateResult run_replicated(const ExperimentConfig& cfg,
+                               const stats::ReplicationPolicy& policy) {
+  stats::ReplicationController controller(policy);
+  std::uint64_t rep = 0;
+  while (!controller.done()) {
+    ExperimentConfig rep_cfg = cfg;
+    rep_cfg.seed = cfg.seed + 0x9E3779B9ULL * (rep + 1);
+    const RunMetrics m = run_once(rep_cfg);
+    // Unordered-map iteration order is irrelevant here: each metric is keyed.
+    std::unordered_map<std::string, double> obs;
+    for (const auto& [k, v] : to_observations(m)) obs.emplace(k, v);
+    controller.add_replication(obs);
+    ++rep;
+  }
+  AggregateResult out;
+  out.replications = controller.replications();
+  for (const std::string& name : controller.metric_names())
+    out.metrics.emplace(name, controller.interval(name));
+  return out;
+}
+
+}  // namespace procsim::core

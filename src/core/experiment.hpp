@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "core/system_sim.hpp"
+#include "mesh/page_table.hpp"
+#include "sched/ordered_scheduler.hpp"
+#include "stats/replication.hpp"
+#include "workload/paragon_model.hpp"
+#include "workload/stochastic.hpp"
+#include "workload/trace_replay.hpp"
+
+namespace procsim::core {
+
+/// Which allocation strategy to instantiate.
+enum class AllocatorKind { kGabl, kPaging, kMbs, kFirstFit, kBestFit, kRandom };
+
+struct AllocatorSpec {
+  AllocatorKind kind{AllocatorKind::kGabl};
+  std::int32_t paging_size_index{0};
+  mesh::PageIndexing paging_indexing{mesh::PageIndexing::kRowMajor};
+
+  [[nodiscard]] std::string label() const;
+};
+
+[[nodiscard]] std::unique_ptr<alloc::Allocator> make_allocator(const AllocatorSpec& spec,
+                                                               mesh::Geometry geom,
+                                                               std::uint64_t seed);
+[[nodiscard]] std::unique_ptr<sched::Scheduler> make_scheduler(sched::Policy policy);
+
+/// The two workload families of the paper.
+enum class WorkloadKind { kStochastic, kTrace };
+
+struct WorkloadSpec {
+  WorkloadKind kind{WorkloadKind::kStochastic};
+
+  // Stochastic family.
+  workload::StochasticParams stochastic{};
+  std::size_t job_count{1000};
+
+  // Trace family: a synthetic Paragon stream by default, or an SWF file.
+  workload::ParagonModelParams paragon{};
+  workload::TraceReplayParams replay{};
+  std::string swf_path;  ///< when non-empty, load this instead of the model
+  double load{0.01};     ///< offered load; sets replay.arrival_factor
+};
+
+/// One experiment point: machine + strategy pair + workload + seed.
+struct ExperimentConfig {
+  SystemConfig sys{};
+  AllocatorSpec allocator{};
+  sched::Policy scheduler{sched::Policy::kFcfs};
+  WorkloadSpec workload{};
+  std::uint64_t seed{1};
+
+  [[nodiscard]] std::string series_label() const;
+};
+
+/// Materialises the workload's job stream for one replication.
+[[nodiscard]] std::vector<workload::Job> build_jobs(const WorkloadSpec& spec,
+                                                    const mesh::Geometry& geom,
+                                                    std::int32_t packet_len,
+                                                    std::uint64_t seed);
+
+/// Runs a single replication end to end.
+[[nodiscard]] RunMetrics run_once(const ExperimentConfig& cfg);
+
+/// Scalar per-replication observations, keyed by the metric names used
+/// throughout the benches: turnaround, service, utilization, latency,
+/// blocking, queue_length.
+[[nodiscard]] std::map<std::string, double> to_observations(const RunMetrics& m);
+
+/// Replicated experiment: reruns with derived seeds until the policy's
+/// 95 % / 5 % precision target (paper §5) is met or the cap is reached.
+struct AggregateResult {
+  std::map<std::string, stats::Interval> metrics;
+  std::uint64_t replications{0};
+};
+
+[[nodiscard]] AggregateResult run_replicated(const ExperimentConfig& cfg,
+                                             const stats::ReplicationPolicy& policy);
+
+}  // namespace procsim::core

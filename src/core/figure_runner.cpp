@@ -1,0 +1,123 @@
+#include "core/figure_runner.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <ostream>
+
+namespace procsim::core {
+
+std::vector<Series> paper_series() {
+  std::vector<Series> out;
+  const AllocatorSpec gabl{AllocatorKind::kGabl, 0, mesh::PageIndexing::kRowMajor};
+  const AllocatorSpec paging0{AllocatorKind::kPaging, 0, mesh::PageIndexing::kRowMajor};
+  const AllocatorSpec mbs{AllocatorKind::kMbs, 0, mesh::PageIndexing::kRowMajor};
+  for (const auto policy : {sched::Policy::kFcfs, sched::Policy::kSsd}) {
+    out.push_back(Series{gabl, policy});
+    out.push_back(Series{paging0, policy});
+    out.push_back(Series{mbs, policy});
+  }
+  return out;
+}
+
+RunOptions parse_run_options(int argc, char** argv) {
+  RunOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--fast") == 0) {
+      opts.fast = true;
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      opts.jobs = static_cast<std::size_t>(std::strtoull(arg + 7, nullptr, 10));
+    } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+      opts.max_reps = std::strtoull(arg + 7, nullptr, 10);
+      if (opts.min_reps > opts.max_reps) opts.min_reps = opts.max_reps;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opts.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
+      // Tolerate google-benchmark style flags so `for b in bench/*` harness
+      // loops can pass uniform arguments.
+    } else {
+      std::cerr << "warning: unknown option " << arg << "\n";
+    }
+  }
+  if (opts.fast) {
+    opts.min_reps = 1;
+    opts.max_reps = 1;
+  }
+  return opts;
+}
+
+void run_figure(const FigureSpec& spec, const RunOptions& opts, std::ostream& out,
+                bool with_ci) {
+  stats::ReplicationPolicy policy;
+  policy.min_replications = opts.min_reps;
+  policy.max_replications = opts.max_reps;
+
+  out << "# " << spec.id << ": " << spec.title << "\n";
+  out << "# metric=" << spec.metric << " mesh=" << spec.base.sys.geom.width() << "x"
+      << spec.base.sys.geom.length() << " st=" << spec.base.sys.net.st
+      << " Plen=" << spec.base.sys.net.packet_len << "\n";
+
+  out << "load";
+  for (const Series& s : spec.series) {
+    ExperimentConfig labelled = spec.base;
+    labelled.allocator = s.allocator;
+    labelled.scheduler = s.scheduler;
+    out << "," << labelled.series_label();
+  }
+  if (with_ci)
+    for (const Series& s : spec.series) {
+      ExperimentConfig labelled = spec.base;
+      labelled.allocator = s.allocator;
+      labelled.scheduler = s.scheduler;
+      out << ",ci:" << labelled.series_label();
+    }
+  out << "\n";
+
+  for (const double load : spec.loads) {
+    out << load;
+    std::vector<stats::Interval> cells;
+    for (const Series& s : spec.series) {
+      ExperimentConfig cfg = spec.base;
+      cfg.allocator = s.allocator;
+      cfg.scheduler = s.scheduler;
+      cfg.seed = opts.seed;
+      if (cfg.workload.kind == WorkloadKind::kStochastic) {
+        cfg.workload.stochastic.load = load;
+        if (opts.jobs) {
+          cfg.workload.job_count = opts.jobs;
+          cfg.sys.target_completions = opts.jobs;
+        }
+        if (opts.fast) {
+          cfg.workload.job_count = std::min<std::size_t>(cfg.workload.job_count, 200);
+          cfg.sys.target_completions =
+              std::min<std::size_t>(cfg.sys.target_completions, 200);
+        }
+      } else {
+        cfg.workload.load = load;
+        if (opts.jobs) {
+          cfg.workload.replay.prefix = opts.jobs;
+          cfg.sys.target_completions = opts.jobs;
+        }
+        if (opts.fast) {
+          cfg.workload.replay.prefix = std::min<std::size_t>(
+              cfg.workload.replay.prefix ? cfg.workload.replay.prefix : 10658, 200);
+          cfg.sys.target_completions =
+              std::min<std::size_t>(cfg.sys.target_completions, 200);
+        }
+      }
+      const AggregateResult res = run_replicated(cfg, policy);
+      const auto it = res.metrics.find(spec.metric);
+      if (it == res.metrics.end())
+        throw std::logic_error("run_figure: unknown metric " + spec.metric);
+      cells.push_back(it->second);
+      out << "," << it->second.mean;
+    }
+    if (with_ci)
+      for (const stats::Interval& c : cells) out << "," << c.half_width;
+    out << "\n";
+    out.flush();
+  }
+}
+
+}  // namespace procsim::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace procsim::core {
+
+/// One strategy pair plotted as a series in a paper figure.
+struct Series {
+  AllocatorSpec allocator;
+  sched::Policy scheduler;
+};
+
+/// The six series every main figure of the paper plots:
+/// {GABL, Paging(0), MBS} × {FCFS, SSD}.
+[[nodiscard]] std::vector<Series> paper_series();
+
+/// Declarative description of one figure: sweep `loads`, run every series at
+/// each point, report `metric` (a key of to_observations()).
+struct FigureSpec {
+  std::string id;          ///< e.g. "fig02"
+  std::string title;       ///< printed as a comment header
+  std::string metric;      ///< turnaround | service | utilization | latency | blocking
+  std::vector<double> loads;
+  std::vector<Series> series;
+  ExperimentConfig base;   ///< workload/sys template; load+strategy filled per cell
+};
+
+/// Effort knobs shared by all figure benches (see bench/README note in each
+/// binary: --fast, --jobs=N, --reps=N, --seed=N).
+struct RunOptions {
+  std::size_t jobs{0};          ///< 0 = keep spec default
+  std::uint64_t min_reps{2};
+  std::uint64_t max_reps{3};
+  std::uint64_t seed{42};
+  bool fast{false};             ///< shrink jobs/reps for smoke runs
+};
+
+[[nodiscard]] RunOptions parse_run_options(int argc, char** argv);
+
+/// Runs the sweep and prints a CSV table: one row per load, one column per
+/// series (the exact series the paper's figure plots), means of the chosen
+/// metric. Also prints per-cell 95 % half-widths as trailing columns when
+/// `with_ci` is set.
+void run_figure(const FigureSpec& spec, const RunOptions& opts, std::ostream& out,
+                bool with_ci = false);
+
+}  // namespace procsim::core

@@ -1,0 +1,178 @@
+#include "core/system_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace procsim::core {
+
+SystemSim::SystemSim(SystemConfig cfg, alloc::Allocator& allocator,
+                     sched::Scheduler& scheduler)
+    : cfg_(cfg), allocator_(allocator), scheduler_(scheduler) {
+  if (!(allocator.geometry() == cfg.geom))
+    throw std::invalid_argument("SystemSim: allocator geometry mismatch");
+}
+
+RunMetrics SystemSim::run(const std::vector<workload::Job>& jobs) {
+  if (!std::is_sorted(jobs.begin(), jobs.end(),
+                      [](const workload::Job& a, const workload::Job& b) {
+                        return a.arrival < b.arrival;
+                      }))
+    throw std::invalid_argument("SystemSim::run: jobs must be sorted by arrival");
+
+  sim_.reset();
+  allocator_.reset();
+  scheduler_.clear();
+  running_.clear();
+  metrics_ = RunMetrics{};
+  completed_ = 0;
+  seq_ = 0;
+  measure_start_ = 0;
+  busy_procs_ = stats::TimeWeighted{};
+  queue_len_ = stats::TimeWeighted{};
+  rng_ = des::Xoshiro256SS{cfg_.seed};
+  net_ = std::make_unique<network::WormholeNetwork>(sim_, cfg_.geom, cfg_.net);
+  net_->set_delivery_callback([this](const network::Delivery& d) { on_delivery(d); });
+
+  for (const workload::Job& job : jobs)
+    sim_.schedule_at(job.arrival, [this, &job] { on_arrival(job); });
+
+  sim_.run(cfg_.max_events);
+
+  const double end = sim_.now();
+  metrics_.completed = completed_ >= cfg_.warmup_completions
+                           ? completed_ - cfg_.warmup_completions
+                           : 0;
+  metrics_.makespan = end;
+  metrics_.utilization =
+      busy_procs_.average(end) / static_cast<double>(cfg_.geom.nodes());
+  metrics_.mean_queue_length = queue_len_.average(end);
+  metrics_.events = sim_.events_executed();
+  return metrics_;
+}
+
+void SystemSim::on_arrival(const workload::Job& job) {
+  sched::QueuedJob q;
+  q.job_id = job.id;
+  q.arrival = job.arrival;
+  q.demand = job.demand;
+  q.area = static_cast<std::int64_t>(job.width) * job.length;
+  q.seq = seq_++;
+  scheduler_.enqueue(q);
+  queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
+
+  RunningJob rj;
+  rj.job = &job;
+  running_.emplace(job.id, std::move(rj));  // queued; placement filled at start
+  try_schedule();
+}
+
+void SystemSim::try_schedule() {
+  while (auto head = scheduler_.head()) {
+    const auto it = running_.find(head->job_id);
+    if (it == running_.end())
+      throw std::logic_error("SystemSim: queued job without a record");
+    const workload::Job& job = *it->second.job;
+    alloc::Request req{job.width, job.length, job.processors};
+    auto placement = allocator_.allocate(req);
+    if (!placement) break;  // blocking head-of-queue semantics (paper §4)
+    scheduler_.pop_head();
+    queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
+    start_job(job, std::move(*placement));
+  }
+}
+
+void SystemSim::start_job(const workload::Job& job, alloc::Placement placement) {
+  RunningJob& rj = running_.at(job.id);
+  rj.start_time = sim_.now();
+  rj.placement = std::move(placement);
+  busy_procs_.add(sim_.now(), static_cast<double>(rj.placement.allocated));
+
+  const std::vector<network::SrcDst> traffic =
+      network::map_plan(job.message_plan, rj.placement.compute_nodes);
+
+  if (traffic.empty()) {
+    // Single-processor job (or no messages): nominal local service of one
+    // packet's worth of work.
+    const double nominal =
+        static_cast<double>(1 + cfg_.net.st + cfg_.net.packet_len);
+    const std::uint64_t id = job.id;
+    rj.outstanding = 0;
+    sim_.schedule_in(nominal, [this, id] { complete_job(id); });
+    return;
+  }
+
+  rj.outstanding = static_cast<std::int64_t>(traffic.size());
+  metrics_.packets += traffic.size();
+  // Group messages by source, preserving plan order; every source streams
+  // its messages one at a time (blocking sends), all sources concurrently.
+  for (const auto& [src, dst] : traffic) rj.streams[src].dsts.push_back(dst);
+  for (auto& [src, stream] : rj.streams) {
+    net_->inject(src, stream.dsts.front(), job.id);
+    stream.next = 1;
+  }
+}
+
+void SystemSim::on_delivery(const network::Delivery& d) {
+  if (measuring()) {
+    metrics_.packet_latency.add(d.latency);
+    metrics_.packet_blocking.add(d.blocked);
+    metrics_.packet_hops.add(static_cast<double>(d.hops));
+  }
+  const auto it = running_.find(d.tag);
+  if (it == running_.end())
+    throw std::logic_error("SystemSim: delivery for unknown job");
+  RunningJob& rj = it->second;
+
+  // The source that just completed a send issues its next message after the
+  // (optional) compute gap.
+  const auto sit = rj.streams.find(d.src);
+  if (sit == rj.streams.end())
+    throw std::logic_error("SystemSim: delivery from unknown source stream");
+  SourceStream& stream = sit->second;
+  if (stream.next < stream.dsts.size()) {
+    const mesh::NodeId src = d.src;
+    const mesh::NodeId dst = stream.dsts[stream.next++];
+    const std::uint64_t job_id = d.tag;
+    if (cfg_.think_time > 0) {
+      sim_.schedule_in(cfg_.think_time,
+                       [this, src, dst, job_id] { net_->inject(src, dst, job_id); });
+    } else {
+      net_->inject(src, dst, job_id);
+    }
+  }
+
+  if (--rj.outstanding == 0) complete_job(d.tag);
+}
+
+void SystemSim::complete_job(std::uint64_t job_id) {
+  const auto it = running_.find(job_id);
+  if (it == running_.end()) throw std::logic_error("SystemSim: completing unknown job");
+  RunningJob& rj = it->second;
+  const double now = sim_.now();
+
+  busy_procs_.add(now, -static_cast<double>(rj.placement.allocated));
+  allocator_.release(rj.placement);
+
+  if (measuring()) {
+    metrics_.turnaround.add(now - rj.job->arrival);
+    metrics_.service.add(now - rj.start_time);
+  }
+  ++completed_;
+  if (completed_ == cfg_.warmup_completions) {
+    // Steady state reached: restart the time-averaged windows.
+    busy_procs_.reset_window(now);
+    queue_len_.reset_window(now);
+    measure_start_ = now;
+  }
+  running_.erase(it);
+
+  if (cfg_.target_completions != 0 &&
+      completed_ >= cfg_.target_completions + cfg_.warmup_completions) {
+    sim_.stop();
+    return;
+  }
+  try_schedule();
+}
+
+}  // namespace procsim::core

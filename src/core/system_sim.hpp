@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "des/rng.hpp"
+#include "des/simulator.hpp"
+#include "network/traffic.hpp"
+#include "network/wormhole_network.hpp"
+#include "sched/scheduler.hpp"
+#include "stats/time_weighted.hpp"
+#include "stats/welford.hpp"
+#include "workload/job.hpp"
+
+namespace procsim::core {
+
+/// Machine- and run-level configuration of one simulation.
+struct SystemConfig {
+  mesh::Geometry geom{16, 22};       ///< the paper's W×L partition
+  network::NetworkParams net{};      ///< st = 3, P_len = 8 by default
+  /// Cycles a processor computes between delivering one of its messages and
+  /// injecting the next (blocking-send pacing; 0 = send immediately).
+  double think_time{0};
+  std::size_t target_completions{1000};  ///< stop after this many (0 = all jobs)
+  std::size_t warmup_completions{0};     ///< completions excluded from statistics
+  std::uint64_t seed{1};                 ///< run-local randomness (random traffic)
+  std::uint64_t max_events{2'000'000'000};  ///< runaway guard
+};
+
+/// Everything one run measures — the paper's five performance parameters
+/// plus diagnostics.
+struct RunMetrics {
+  stats::Welford turnaround;       ///< arrival -> departure per job
+  stats::Welford service;          ///< allocation -> departure per job
+  stats::Welford packet_latency;   ///< per delivered packet
+  stats::Welford packet_blocking;  ///< per delivered packet
+  stats::Welford packet_hops;      ///< mesh links traversed per packet
+  double utilization{0};           ///< time-averaged allocated fraction
+  double mean_queue_length{0};
+  std::uint64_t completed{0};
+  double makespan{0};
+  std::uint64_t events{0};
+  std::uint64_t packets{0};
+};
+
+/// Couples scheduler, allocator, wormhole network and a job stream into one
+/// discrete-event simulation (the ProcSimity role).
+///
+/// Lifecycle of a job: arrival -> queue -> (scheduler head + allocator
+/// success) -> processors held, packets injected -> last delivery ->
+/// processors released, next scheduling round. A job's service time is an
+/// *output*: the time its communication takes under the contention its
+/// placement creates.
+class SystemSim {
+ public:
+  SystemSim(SystemConfig cfg, alloc::Allocator& allocator, sched::Scheduler& scheduler);
+
+  /// Runs the whole job stream (jobs must be sorted by arrival time).
+  /// The allocator and scheduler are reset first; metrics cover completions
+  /// after the warmup threshold.
+  [[nodiscard]] RunMetrics run(const std::vector<workload::Job>& jobs);
+
+ private:
+  /// Messages one processor sends, in order, paced one-at-a-time: the next
+  /// is injected only once the previous is delivered (blocking sends). All
+  /// of a job's sources stream concurrently.
+  struct SourceStream {
+    std::vector<mesh::NodeId> dsts;
+    std::size_t next{0};
+  };
+
+  struct RunningJob {
+    const workload::Job* job{nullptr};
+    alloc::Placement placement;
+    double start_time{0};
+    std::int64_t outstanding{0};  ///< packets not yet delivered (all sources)
+    std::map<mesh::NodeId, SourceStream> streams;  // ordered => deterministic
+  };
+
+  void on_arrival(const workload::Job& job);
+  void try_schedule();
+  void start_job(const workload::Job& job, alloc::Placement placement);
+  void on_delivery(const network::Delivery& d);
+  void complete_job(std::uint64_t job_id);
+  [[nodiscard]] bool measuring() const noexcept {
+    return completed_ >= cfg_.warmup_completions;
+  }
+
+  SystemConfig cfg_;
+  alloc::Allocator& allocator_;
+  sched::Scheduler& scheduler_;
+
+  // Per-run state (rebuilt in run()).
+  des::Simulator sim_;
+  std::unique_ptr<network::WormholeNetwork> net_;
+  des::Xoshiro256SS rng_{1};
+  std::unordered_map<std::uint64_t, RunningJob> running_;
+  stats::TimeWeighted busy_procs_;
+  stats::TimeWeighted queue_len_;
+  RunMetrics metrics_;
+  std::uint64_t completed_{0};
+  std::uint64_t seq_{0};
+  double measure_start_{0};
+};
+
+}  // namespace procsim::core

@@ -1,0 +1,31 @@
+#include "des/distributions.hpp"
+
+#include <numbers>
+
+namespace procsim::des {
+
+double sample_normal(Xoshiro256SS& rng) {
+  // Box–Muller, discarding the second variate so each call consumes a fixed
+  // number of engine draws (two) — important for stream reproducibility.
+  const double u1 = 1.0 - rng.next_double();  // (0, 1]
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t sample_discrete(Xoshiro256SS& rng, std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("sample_discrete: empty weights");
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("sample_discrete: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("sample_discrete: zero total weight");
+  double x = rng.next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: land in the last bucket
+}
+
+}  // namespace procsim::des

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "des/rng.hpp"
+
+namespace procsim::des {
+
+/// Hand-rolled sampling routines. <random>'s distributions are not
+/// bit-reproducible across standard libraries; these are, which lets tests
+/// pin golden values and makes every experiment replayable from its seed.
+
+/// Exponential with the given mean (inter-arrival times, message counts...).
+[[nodiscard]] inline double sample_exponential(Xoshiro256SS& rng, double mean) {
+  if (mean <= 0) throw std::invalid_argument("sample_exponential: mean must be > 0");
+  // 1 - u in (0,1]: log() never sees zero.
+  return -mean * std::log1p(-rng.next_double());
+}
+
+/// Uniform double in [lo, hi).
+[[nodiscard]] inline double sample_uniform(Xoshiro256SS& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.next_double();
+}
+
+/// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+[[nodiscard]] inline std::int64_t sample_uniform_int(Xoshiro256SS& rng,
+                                                     std::int64_t lo,
+                                                     std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("sample_uniform_int: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(rng());  // full 64-bit range
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              std::numeric_limits<std::uint64_t>::max() % span;
+  std::uint64_t draw = rng();
+  while (draw >= limit) draw = rng();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+/// Standard normal via Box–Muller (deterministic, one value per call).
+[[nodiscard]] double sample_normal(Xoshiro256SS& rng);
+
+/// Lognormal with the given parameters of the underlying normal.
+[[nodiscard]] inline double sample_lognormal(Xoshiro256SS& rng, double mu, double sigma) {
+  return std::exp(mu + sigma * sample_normal(rng));
+}
+
+/// Exponential rounded to an integer, clamped to at least `min_value`.
+/// Used for per-processor message counts (paper: Exp(num_mes), at least one
+/// message once a job communicates at all).
+[[nodiscard]] inline std::int64_t sample_exponential_count(Xoshiro256SS& rng,
+                                                           double mean,
+                                                           std::int64_t min_value = 1) {
+  const auto n = static_cast<std::int64_t>(std::llround(sample_exponential(rng, mean)));
+  return n < min_value ? min_value : n;
+}
+
+/// Samples an index in [0, weights.size()) proportional to `weights`.
+/// Linear scan over the cumulative sum — the mixtures used here have a
+/// handful of buckets, so no alias table is warranted.
+[[nodiscard]] std::size_t sample_discrete(Xoshiro256SS& rng, std::span<const double> weights);
+
+/// Bernoulli trial with success probability p.
+[[nodiscard]] inline bool sample_bernoulli(Xoshiro256SS& rng, double p) {
+  return rng.next_double() < p;
+}
+
+}  // namespace procsim::des

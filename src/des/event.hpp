@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace procsim::des {
+
+/// Simulation time. One unit corresponds to one network cycle (the time a
+/// flit needs to cross one link), matching the paper's "time units".
+using SimTime = double;
+
+/// Action executed when an event fires. Events carry no payload of their
+/// own; closures capture whatever state they need.
+using EventAction = std::function<void()>;
+
+/// A scheduled event. Ordering is (time, sequence): two events at the same
+/// timestamp fire in the order they were scheduled, which keeps runs
+/// deterministic under a fixed seed.
+struct Event {
+  SimTime time{0};
+  std::uint64_t seq{0};
+  EventAction action;
+};
+
+/// Min-heap comparator for Event (later time == lower priority).
+struct EventLater {
+  [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace procsim::des

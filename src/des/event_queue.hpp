@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "des/event.hpp"
+
+namespace procsim::des {
+
+/// Pending-event set of a discrete-event simulation: a binary min-heap keyed
+/// by (time, insertion sequence). Insertion order breaks timestamp ties so
+/// identical seeds reproduce identical trajectories.
+class EventQueue {
+ public:
+  /// Schedules `action` to fire at absolute time `time`.
+  void push(SimTime time, EventAction action) {
+    heap_.push(Event{time, next_seq_++, std::move(action)});
+  }
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  [[nodiscard]] Event pop() {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    return ev;
+  }
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const noexcept { return heap_.top().time; }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Drops every pending event (used between replications).
+  void clear() {
+    heap_ = {};
+    next_seq_ = 0;
+  }
+
+  /// Total number of events ever scheduled (diagnostic).
+  [[nodiscard]] std::uint64_t scheduled_count() const noexcept { return next_seq_; }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace procsim::des

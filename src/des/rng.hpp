@@ -1,0 +1,81 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace procsim::des {
+
+/// SplitMix64: used only to expand a user seed into engine state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the simulator's primary generator.
+/// Deterministic across platforms (unlike distribution adaptors in <random>),
+/// 2^256-1 period, and `jump()` provides 2^128 independent sub-streams so
+/// every replication and every workload component can draw from its own
+/// stream without correlation.
+class Xoshiro256SS {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256SS(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Advances the state by 2^128 draws; equivalent to that many calls.
+  void jump() noexcept;
+
+  /// Returns a new engine 2^128 draws ahead, advancing this one.
+  [[nodiscard]] Xoshiro256SS split() noexcept {
+    Xoshiro256SS child = *this;
+    jump();
+    return child;
+  }
+
+  /// Uniform double in [0, 1) with 53 random mantissa bits.
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace procsim::des

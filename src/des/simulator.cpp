@@ -1,0 +1,33 @@
+#include "des/simulator.hpp"
+
+namespace procsim::des {
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && fired < max_events) {
+    Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++fired;
+    ++executed_;
+  }
+  return fired;
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon, std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && fired < max_events &&
+         queue_.next_time() <= horizon) {
+    Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++fired;
+    ++executed_;
+  }
+  if (!stopped_ && (queue_.empty() || queue_.next_time() > horizon)) now_ = horizon;
+  return fired;
+}
+
+}  // namespace procsim::des

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "des/event_queue.hpp"
+
+namespace procsim::des {
+
+/// Discrete-event simulation kernel: a clock plus a pending-event set.
+///
+/// Components schedule closures at absolute or relative times; `run()` fires
+/// them in (time, insertion) order until the queue drains, `stop()` is
+/// called, or an event horizon is reached. The kernel itself holds no model
+/// state, which keeps every substrate (network, allocator, workload)
+/// independently testable against a bare Simulator.
+class Simulator {
+ public:
+  /// Current simulation time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `when` (must be >= now()).
+  void schedule_at(SimTime when, EventAction action) {
+    if (when < now_) throw std::invalid_argument("Simulator: scheduling into the past");
+    queue_.push(when, std::move(action));
+  }
+
+  /// Schedules `action` `delay` time units from now (delay >= 0).
+  void schedule_in(SimTime delay, EventAction action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Runs until the event queue is empty, `stop()` is called, or more than
+  /// `max_events` events have fired (guard against runaway models).
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
+
+  /// Runs like `run()` but never past time `horizon`; events at exactly
+  /// `horizon` still fire. The clock is left at min(horizon, last event).
+  std::uint64_t run_until(SimTime horizon,
+                          std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
+
+  /// Makes `run()` return after the currently executing event completes.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
+
+  /// Resets clock, queue and counters for a fresh replication.
+  void reset() {
+    queue_.clear();
+    now_ = 0;
+    executed_ = 0;
+    stopped_ = false;
+  }
+
+ private:
+  EventQueue queue_;
+  SimTime now_{0};
+  std::uint64_t executed_{0};
+  bool stopped_{false};
+};
+
+}  // namespace procsim::des

@@ -1,0 +1,167 @@
+#include "mesh/buddy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace procsim::mesh {
+namespace {
+
+[[nodiscard]] std::int32_t floor_log2(std::int32_t v) noexcept {
+  std::int32_t r = 0;
+  while ((1 << (r + 1)) <= v) ++r;
+  return r;
+}
+
+}  // namespace
+
+BuddyTiling::BuddyTiling(Geometry geom) : geom_(geom) {
+  max_order_ = floor_log2(std::min(geom.width(), geom.length()));
+  free_lists_.assign(static_cast<std::size_t>(max_order_) + 1, {});
+  tile_region(0, 0, geom.width(), geom.length());
+  for (const Block& b : blocks_) free_processors_ += b.rect.area();
+}
+
+void BuddyTiling::tile_region(std::int32_t x0, std::int32_t y0, std::int32_t w,
+                              std::int32_t l) {
+  if (w <= 0 || l <= 0) return;
+  const std::int32_t order = floor_log2(std::min(w, l));
+  const std::int32_t side = 1 << order;
+  const std::int32_t cols = w / side;
+  const std::int32_t rows = l / side;
+  for (std::int32_t r = 0; r < rows; ++r) {
+    for (std::int32_t c = 0; c < cols; ++c) {
+      Block b;
+      b.rect = SubMesh::from_base(Coord{x0 + c * side, y0 + r * side}, side, side);
+      b.order = order;
+      const BlockId id = static_cast<BlockId>(blocks_.size());
+      blocks_.push_back(b);
+      roots_.push_back(id);
+      blocks_[static_cast<std::size_t>(id)].fseq = next_fseq_++;
+      free_lists_[static_cast<std::size_t>(order)].insert(
+          {blocks_[static_cast<std::size_t>(id)].fseq, id});
+    }
+  }
+  // Remainder strips: right of the covered columns, then below the covered
+  // rows (spanning the full original width so the corner is covered once).
+  tile_region(x0 + cols * side, y0, w - cols * side, rows * side);
+  tile_region(x0, y0 + rows * side, w, l - rows * side);
+}
+
+std::size_t BuddyTiling::checked(BlockId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= blocks_.size())
+    throw std::out_of_range("BuddyTiling: bad block id");
+  return static_cast<std::size_t>(id);
+}
+
+void BuddyTiling::add_free(BlockId id) {
+  Block& b = blocks_[checked(id)];
+  b.is_free = true;
+  b.fseq = next_fseq_++;
+  free_lists_[static_cast<std::size_t>(b.order)].insert({b.fseq, id});
+}
+
+void BuddyTiling::remove_free(BlockId id) {
+  Block& b = blocks_[checked(id)];
+  b.is_free = false;
+  free_lists_[static_cast<std::size_t>(b.order)].erase({b.fseq, id});
+}
+
+void BuddyTiling::split(BlockId id) {
+  Block& parent = blocks_[checked(id)];
+  if (parent.order == 0) throw std::logic_error("BuddyTiling: splitting an order-0 block");
+  if (parent.is_split) throw std::logic_error("BuddyTiling: splitting a split block");
+  remove_free(id);
+  const std::int32_t half = (1 << parent.order) / 2;
+  const Coord base = parent.rect.base();
+  const std::int32_t child_order = parent.order - 1;
+  for (int q = 0; q < 4; ++q) {
+    const Coord cb{base.x + (q % 2) * half, base.y + (q / 2) * half};
+    Block child;
+    child.rect = SubMesh::from_base(cb, half, half);
+    child.order = child_order;
+    child.parent = id;
+    const BlockId cid = static_cast<BlockId>(blocks_.size());
+    blocks_.push_back(child);
+    // `parent` reference may dangle after push_back; re-index.
+    blocks_[static_cast<std::size_t>(id)].children[static_cast<std::size_t>(q)] = cid;
+    blocks_[static_cast<std::size_t>(cid)].fseq = next_fseq_++;
+    free_lists_[static_cast<std::size_t>(child_order)].insert(
+        {blocks_[static_cast<std::size_t>(cid)].fseq, cid});
+  }
+  blocks_[static_cast<std::size_t>(id)].is_split = true;
+}
+
+std::optional<BuddyTiling::BlockId> BuddyTiling::take_block(std::int32_t order) {
+  if (order < 0) throw std::invalid_argument("BuddyTiling: negative order");
+  if (order > max_order_) return std::nullopt;
+  if (!free_lists_[static_cast<std::size_t>(order)].empty()) {
+    const BlockId id = free_lists_[static_cast<std::size_t>(order)].begin()->second;
+    remove_free(id);
+    free_processors_ -= blocks_[static_cast<std::size_t>(id)].rect.area();
+    return id;
+  }
+  // Split the smallest larger free block down to this order.
+  for (std::int32_t larger = order + 1; larger <= max_order_; ++larger) {
+    if (free_lists_[static_cast<std::size_t>(larger)].empty()) continue;
+    BlockId id = free_lists_[static_cast<std::size_t>(larger)].begin()->second;
+    while (blocks_[static_cast<std::size_t>(id)].order > order) {
+      split(id);
+      id = blocks_[static_cast<std::size_t>(id)].children[0];
+    }
+    remove_free(id);
+    free_processors_ -= blocks_[static_cast<std::size_t>(id)].rect.area();
+    return id;
+  }
+  return std::nullopt;
+}
+
+void BuddyTiling::release_block(BlockId id) {
+  {
+    const Block& b = blocks_[checked(id)];
+    if (b.is_free || b.is_split || b.is_dead)
+      throw std::logic_error("BuddyTiling: bad release");
+    free_processors_ += b.rect.area();
+  }
+  add_free(id);
+  // Merge complete free buddy sets upward.
+  BlockId cur = id;
+  while (true) {
+    const BlockId parent = blocks_[static_cast<std::size_t>(cur)].parent;
+    if (parent == kNone) break;
+    const Block& p = blocks_[static_cast<std::size_t>(parent)];
+    const bool all_free = std::all_of(p.children.begin(), p.children.end(), [this](BlockId c) {
+      const Block& cb = blocks_[static_cast<std::size_t>(c)];
+      return cb.is_free && !cb.is_split;
+    });
+    if (!all_free) break;
+    for (const BlockId c : p.children) {
+      remove_free(c);
+      blocks_[static_cast<std::size_t>(c)].is_dead = true;
+    }
+    blocks_[static_cast<std::size_t>(parent)].is_split = false;
+    blocks_[static_cast<std::size_t>(parent)].children = {kNone, kNone, kNone, kNone};
+    add_free(parent);
+    cur = parent;
+  }
+  // Note: child Block records of merged parents stay in blocks_ as inert
+  // tombstones; they are unreachable until the parent splits again, which
+  // recreates fresh children. Bounded growth is fine at simulation scale —
+  // clear() compacts between replications.
+}
+
+std::size_t BuddyTiling::free_blocks_at(std::int32_t order) const {
+  if (order < 0 || order > max_order_) return 0;
+  return free_lists_[static_cast<std::size_t>(order)].size();
+}
+
+void BuddyTiling::clear() {
+  blocks_.clear();
+  roots_.clear();
+  for (auto& fl : free_lists_) fl.clear();
+  next_fseq_ = 0;
+  free_processors_ = 0;
+  tile_region(0, 0, geom_.width(), geom_.length());
+  for (const Block& b : blocks_) free_processors_ += b.rect.area();
+}
+
+}  // namespace procsim::mesh

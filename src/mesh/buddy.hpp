@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "mesh/coord.hpp"
+#include "mesh/submesh.hpp"
+
+namespace procsim::mesh {
+
+/// Quad-buddy tiling of a mesh, the substrate of the Multiple Buddy Strategy
+/// (MBS, Lo et al. 1997): "the mesh is divided into non-overlapping square
+/// sub-meshes with side lengths equal to powers of two upon initialization".
+///
+/// Meshes whose sides are not powers of two (the paper's 16×22) are covered
+/// greedily by maximal power-of-two squares; each initial square is the root
+/// of a quad-tree whose nodes split into four equal buddies. Free blocks are
+/// kept per order as FIFO free lists, matching a linked-list implementation:
+/// initially in tiling order, but scrambled spatially by allocation churn.
+/// That scrambling is load-bearing for the paper's results — it is why MBS
+/// disperses non-power-of-two jobs across the mesh once the system has run
+/// for a while, where Paging's index ordering keeps compacting. Everything
+/// remains deterministic for a fixed request sequence.
+class BuddyTiling {
+ public:
+  using BlockId = std::int32_t;
+  static constexpr BlockId kNone = -1;
+
+  explicit BuddyTiling(Geometry geom);
+
+  /// Hands out a free block of exactly this order (side 2^order), splitting a
+  /// larger free block if necessary. Returns nullopt when no block of this
+  /// order can be produced.
+  [[nodiscard]] std::optional<BlockId> take_block(std::int32_t order);
+
+  /// Returns a block obtained from take_block; merges complete buddy sets
+  /// back into their parent recursively.
+  void release_block(BlockId id);
+
+  [[nodiscard]] const SubMesh& rect(BlockId id) const { return blocks_.at(checked(id)).rect; }
+  [[nodiscard]] std::int32_t order_of(BlockId id) const {
+    return blocks_.at(checked(id)).order;
+  }
+
+  /// Number of free processors summed over free blocks.
+  [[nodiscard]] std::int64_t free_processors() const noexcept { return free_processors_; }
+
+  /// Free blocks currently available at `order` (diagnostics/tests).
+  [[nodiscard]] std::size_t free_blocks_at(std::int32_t order) const;
+
+  [[nodiscard]] std::int32_t max_order() const noexcept { return max_order_; }
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geom_; }
+
+  /// Resets to the initial tiling. Precondition: every taken block released.
+  void clear();
+
+ private:
+  struct Block {
+    SubMesh rect;
+    std::int32_t order{0};
+    BlockId parent{kNone};
+    std::array<BlockId, 4> children{kNone, kNone, kNone, kNone};
+    std::uint64_t fseq{0};  ///< insertion ticket in its free list
+    bool is_split{false};
+    bool is_free{true};
+    bool is_dead{false};  ///< tombstone: parent merged back, id retired
+  };
+
+  [[nodiscard]] std::size_t checked(BlockId id) const;
+  void tile_region(std::int32_t x0, std::int32_t y0, std::int32_t w, std::int32_t l);
+  void split(BlockId id);
+  void add_free(BlockId id);
+  void remove_free(BlockId id);
+
+  Geometry geom_;
+  std::vector<Block> blocks_;
+  /// FIFO free lists: (insertion ticket, block), oldest first.
+  std::vector<std::set<std::pair<std::uint64_t, BlockId>>> free_lists_;
+  std::vector<BlockId> roots_;
+  std::uint64_t next_fseq_{0};
+  std::int64_t free_processors_{0};
+  std::int32_t max_order_{0};
+};
+
+}  // namespace procsim::mesh

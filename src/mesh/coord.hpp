@@ -1,0 +1,46 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace procsim::mesh {
+
+/// Node index into a W×L mesh, row-major: id = y*W + x.
+using NodeId = std::int32_t;
+
+/// Processor coordinates. Following the paper, a node is (x, y) with
+/// 0 <= x < W (width) and 0 <= y < L (length).
+struct Coord {
+  std::int32_t x{0};
+  std::int32_t y{0};
+
+  friend constexpr auto operator<=>(const Coord&, const Coord&) = default;
+};
+
+/// Static shape of a W×L mesh (no occupancy), with id<->coordinate mapping.
+class Geometry {
+ public:
+  constexpr Geometry(std::int32_t width, std::int32_t length) noexcept
+      : width_(width), length_(length) {}
+
+  [[nodiscard]] constexpr std::int32_t width() const noexcept { return width_; }
+  [[nodiscard]] constexpr std::int32_t length() const noexcept { return length_; }
+  [[nodiscard]] constexpr std::int32_t nodes() const noexcept { return width_ * length_; }
+
+  [[nodiscard]] constexpr bool contains(Coord c) const noexcept {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < length_;
+  }
+
+  [[nodiscard]] constexpr NodeId id(Coord c) const noexcept { return c.y * width_ + c.x; }
+  [[nodiscard]] constexpr Coord coord(NodeId n) const noexcept {
+    return Coord{n % width_, n / width_};
+  }
+
+  friend constexpr bool operator==(const Geometry&, const Geometry&) = default;
+
+ private:
+  std::int32_t width_;
+  std::int32_t length_;
+};
+
+}  // namespace procsim::mesh

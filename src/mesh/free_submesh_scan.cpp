@@ -1,0 +1,122 @@
+#include "mesh/free_submesh_scan.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace procsim::mesh {
+
+FreeSubmeshScan::FreeSubmeshScan(const MeshState& state)
+    : geom_(state.geometry()),
+      prefix_(static_cast<std::size_t>((geom_.width() + 1) * (geom_.length() + 1)), 0) {
+  const std::int32_t w = geom_.width();
+  for (std::int32_t y = 0; y < geom_.length(); ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      const std::int64_t cell = state.is_busy(Coord{x, y}) ? 1 : 0;
+      const auto idx = [this](std::int32_t px, std::int32_t py) {
+        return static_cast<std::size_t>(py * (geom_.width() + 1) + px);
+      };
+      prefix_[idx(x + 1, y + 1)] =
+          cell + prefix_[idx(x, y + 1)] + prefix_[idx(x + 1, y)] - prefix_[idx(x, y)];
+    }
+  }
+}
+
+std::int64_t FreeSubmeshScan::rect_sum(std::int32_t x1, std::int32_t y1, std::int32_t x2,
+                                       std::int32_t y2) const {
+  const auto idx = [this](std::int32_t px, std::int32_t py) {
+    return static_cast<std::size_t>(py * (geom_.width() + 1) + px);
+  };
+  return prefix_[idx(x2 + 1, y2 + 1)] - prefix_[idx(x1, y2 + 1)] - prefix_[idx(x2 + 1, y1)] +
+         prefix_[idx(x1, y1)];
+}
+
+std::int32_t FreeSubmeshScan::busy_in(const SubMesh& s) const {
+  if (!s.valid() || !geom_.contains(s.base()) || !geom_.contains(s.end()))
+    throw std::invalid_argument("FreeSubmeshScan::busy_in: sub-mesh outside mesh");
+  return static_cast<std::int32_t>(rect_sum(s.x1, s.y1, s.x2, s.y2));
+}
+
+bool FreeSubmeshScan::is_free(const SubMesh& s) const {
+  if (!s.valid() || !geom_.contains(s.base()) || !geom_.contains(s.end())) return false;
+  return rect_sum(s.x1, s.y1, s.x2, s.y2) == 0;
+}
+
+std::optional<SubMesh> FreeSubmeshScan::first_fit(std::int32_t a, std::int32_t b) const {
+  if (a <= 0 || b <= 0) throw std::invalid_argument("first_fit: non-positive request");
+  if (a > geom_.width() || b > geom_.length()) return std::nullopt;
+  for (std::int32_t y = 0; y + b <= geom_.length(); ++y) {
+    for (std::int32_t x = 0; x + a <= geom_.width(); ++x) {
+      const SubMesh cand = SubMesh::from_base(Coord{x, y}, a, b);
+      if (rect_sum(cand.x1, cand.y1, cand.x2, cand.y2) == 0) return cand;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SubMesh> FreeSubmeshScan::first_fit_rotatable(std::int32_t a,
+                                                            std::int32_t b) const {
+  if (auto s = first_fit(a, b)) return s;
+  if (a != b) return first_fit(b, a);
+  return std::nullopt;
+}
+
+std::int32_t FreeSubmeshScan::free_border(const SubMesh& s) const {
+  const SubMesh ring{std::max(s.x1 - 1, 0), std::max(s.y1 - 1, 0),
+                     std::min(s.x2 + 1, geom_.width() - 1),
+                     std::min(s.y2 + 1, geom_.length() - 1)};
+  const std::int64_t ring_nodes = ring.area() - s.area();
+  const std::int64_t ring_busy =
+      rect_sum(ring.x1, ring.y1, ring.x2, ring.y2) - rect_sum(s.x1, s.y1, s.x2, s.y2);
+  return static_cast<std::int32_t>(ring_nodes - ring_busy);
+}
+
+std::optional<SubMesh> FreeSubmeshScan::best_fit(std::int32_t a, std::int32_t b) const {
+  if (a <= 0 || b <= 0) throw std::invalid_argument("best_fit: non-positive request");
+  if (a > geom_.width() || b > geom_.length()) return std::nullopt;
+  std::optional<SubMesh> best;
+  std::int32_t best_score = std::numeric_limits<std::int32_t>::max();
+  for (std::int32_t y = 0; y + b <= geom_.length(); ++y) {
+    for (std::int32_t x = 0; x + a <= geom_.width(); ++x) {
+      const SubMesh cand = SubMesh::from_base(Coord{x, y}, a, b);
+      if (rect_sum(cand.x1, cand.y1, cand.x2, cand.y2) != 0) continue;
+      const std::int32_t score = free_border(cand);
+      if (score < best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<SubMesh> FreeSubmeshScan::largest_free(std::int32_t max_w, std::int32_t max_l,
+                                                     std::int64_t max_area) const {
+  max_w = std::min(max_w, geom_.width());
+  max_l = std::min(max_l, geom_.length());
+  if (max_w <= 0 || max_l <= 0 || max_area <= 0) return std::nullopt;
+  std::optional<SubMesh> best;
+  std::int64_t best_area = 0;
+  for (std::int32_t w = 1; w <= max_w; ++w) {
+    for (std::int32_t l = 1; l <= max_l; ++l) {
+      const std::int64_t area = static_cast<std::int64_t>(w) * l;
+      if (area > max_area || area <= best_area) continue;
+      for (std::int32_t y = 0; y + l <= geom_.length(); ++y) {
+        bool found = false;
+        for (std::int32_t x = 0; x + w <= geom_.width(); ++x) {
+          const SubMesh cand = SubMesh::from_base(Coord{x, y}, w, l);
+          if (rect_sum(cand.x1, cand.y1, cand.x2, cand.y2) == 0) {
+            best = cand;
+            best_area = area;
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace procsim::mesh

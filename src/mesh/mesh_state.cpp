@@ -1,0 +1,57 @@
+#include "mesh/mesh_state.hpp"
+
+#include <stdexcept>
+
+namespace procsim::mesh {
+
+std::size_t MeshState::checked(NodeId n) const {
+  if (n < 0 || n >= geom_.nodes()) throw std::out_of_range("MeshState: node id out of range");
+  return static_cast<std::size_t>(n);
+}
+
+void MeshState::allocate(NodeId n) {
+  const std::size_t i = checked(n);
+  if (busy_[i]) throw std::logic_error("MeshState: double allocation of node");
+  busy_[i] = 1;
+  --free_;
+}
+
+void MeshState::release(NodeId n) {
+  const std::size_t i = checked(n);
+  if (!busy_[i]) throw std::logic_error("MeshState: releasing a free node");
+  busy_[i] = 0;
+  ++free_;
+}
+
+void MeshState::allocate(const SubMesh& s) {
+  for (std::int32_t y = s.y1; y <= s.y2; ++y)
+    for (std::int32_t x = s.x1; x <= s.x2; ++x) allocate(geom_.id(Coord{x, y}));
+}
+
+void MeshState::release(const SubMesh& s) {
+  for (std::int32_t y = s.y1; y <= s.y2; ++y)
+    for (std::int32_t x = s.x1; x <= s.x2; ++x) release(geom_.id(Coord{x, y}));
+}
+
+bool MeshState::all_free(const SubMesh& s) const {
+  if (!s.valid() || !geom_.contains(s.base()) || !geom_.contains(s.end())) return false;
+  for (std::int32_t y = s.y1; y <= s.y2; ++y)
+    for (std::int32_t x = s.x1; x <= s.x2; ++x)
+      if (busy_[static_cast<std::size_t>(geom_.id(Coord{x, y}))]) return false;
+  return true;
+}
+
+void MeshState::clear() {
+  std::fill(busy_.begin(), busy_.end(), std::uint8_t{0});
+  free_ = geom_.nodes();
+}
+
+std::vector<NodeId> MeshState::free_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(free_));
+  for (NodeId n = 0; n < geom_.nodes(); ++n)
+    if (!busy_[static_cast<std::size_t>(n)]) out.push_back(n);
+  return out;
+}
+
+}  // namespace procsim::mesh

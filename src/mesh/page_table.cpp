@@ -1,0 +1,76 @@
+#include "mesh/page_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace procsim::mesh {
+namespace {
+
+/// Interleaves the low 16 bits of r (odd positions) and c (even positions):
+/// the Morton / Z-order code used by the "shuffled" indexing schemes.
+[[nodiscard]] std::uint64_t morton(std::uint32_t c, std::uint32_t r) noexcept {
+  std::uint64_t code = 0;
+  for (int b = 0; b < 16; ++b) {
+    code |= static_cast<std::uint64_t>((c >> b) & 1U) << (2 * b);
+    code |= static_cast<std::uint64_t>((r >> b) & 1U) << (2 * b + 1);
+  }
+  return code;
+}
+
+}  // namespace
+
+PageTable::PageTable(Geometry geom, std::int32_t size_index, PageIndexing indexing)
+    : geom_(geom), size_index_(size_index), side_(1 << size_index), indexing_(indexing) {
+  if (size_index < 0 || size_index > 15)
+    throw std::invalid_argument("PageTable: size_index out of range");
+  const std::int32_t cols = (geom.width() + side_ - 1) / side_;
+  const std::int32_t rows = (geom.length() + side_ - 1) / side_;
+
+  struct Keyed {
+    std::uint64_t key;
+    std::int32_t row;
+    std::int32_t col;
+  };
+  std::vector<Keyed> order;
+  order.reserve(static_cast<std::size_t>(cols * rows));
+  for (std::int32_t r = 0; r < rows; ++r) {
+    for (std::int32_t c = 0; c < cols; ++c) {
+      // Snake variants flip the column direction on odd rows before keying.
+      const std::int32_t cs = (r % 2 == 1) ? cols - 1 - c : c;
+      std::uint64_t key = 0;
+      switch (indexing_) {
+        case PageIndexing::kRowMajor:
+          key = static_cast<std::uint64_t>(r) * static_cast<std::uint64_t>(cols) +
+                static_cast<std::uint64_t>(c);
+          break;
+        case PageIndexing::kSnake:
+          key = static_cast<std::uint64_t>(r) * static_cast<std::uint64_t>(cols) +
+                static_cast<std::uint64_t>(cs);
+          break;
+        case PageIndexing::kShuffledRowMajor:
+          key = morton(static_cast<std::uint32_t>(c), static_cast<std::uint32_t>(r));
+          break;
+        case PageIndexing::kShuffledSnake:
+          key = morton(static_cast<std::uint32_t>(cs), static_cast<std::uint32_t>(r));
+          break;
+      }
+      order.push_back(Keyed{key, r, c});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.key != b.key) return a.key < b.key;
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  });
+
+  pages_.reserve(order.size());
+  for (const Keyed& k : order) {
+    const std::int32_t x1 = k.col * side_;
+    const std::int32_t y1 = k.row * side_;
+    const std::int32_t x2 = std::min(x1 + side_ - 1, geom.width() - 1);
+    const std::int32_t y2 = std::min(y1 + side_ - 1, geom.length() - 1);
+    pages_.push_back(SubMesh{x1, y1, x2, y2});
+  }
+}
+
+}  // namespace procsim::mesh

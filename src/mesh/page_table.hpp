@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/coord.hpp"
+#include "mesh/submesh.hpp"
+
+namespace procsim::mesh {
+
+/// Page ordering schemes of the Paging strategy (Lo et al., TPDS 1997).
+/// The paper's main results use row-major only; the others feed the
+/// `abl_paging_index` ablation bench.
+enum class PageIndexing {
+  kRowMajor,
+  kSnake,            // boustrophedon rows
+  kShuffledRowMajor, // Morton (bit-interleaved) order
+  kShuffledSnake,    // Morton order of snake-flipped coordinates
+};
+
+/// Tiling of a W×L mesh into pages of side 2^size_index, indexed by one of
+/// the four Paging schemes. Pages at the right/top edges are clipped when the
+/// mesh side is not a multiple of the page side, so the table covers every
+/// mesh exactly (the paper's 16×22 mesh is not divisible by 4).
+class PageTable {
+ public:
+  PageTable(Geometry geom, std::int32_t size_index,
+            PageIndexing indexing = PageIndexing::kRowMajor);
+
+  [[nodiscard]] std::int32_t size_index() const noexcept { return size_index_; }
+  [[nodiscard]] std::int32_t page_side() const noexcept { return side_; }
+  [[nodiscard]] PageIndexing indexing() const noexcept { return indexing_; }
+  [[nodiscard]] std::size_t page_count() const noexcept { return pages_.size(); }
+
+  /// Pages in allocation-scan order (index 0 first).
+  [[nodiscard]] const SubMesh& page(std::size_t index) const { return pages_.at(index); }
+
+  /// Page grid position (column, row) of the page holding mesh coordinate c.
+  [[nodiscard]] Coord grid_of(Coord c) const noexcept {
+    return Coord{c.x / side_, c.y / side_};
+  }
+
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geom_; }
+
+ private:
+  Geometry geom_;
+  std::int32_t size_index_;
+  std::int32_t side_;
+  PageIndexing indexing_;
+  std::vector<SubMesh> pages_;
+};
+
+}  // namespace procsim::mesh

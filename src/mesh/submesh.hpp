@@ -1,0 +1,60 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "mesh/coord.hpp"
+
+namespace procsim::mesh {
+
+/// A rectangular sub-mesh S(w, l), stored as base (x1, y1) and end (x2, y2)
+/// coordinates, both inclusive — Definition 1 of the paper.
+struct SubMesh {
+  std::int32_t x1{0};
+  std::int32_t y1{0};
+  std::int32_t x2{0};
+  std::int32_t y2{0};
+
+  /// Builds a sub-mesh from its base coordinate and side lengths.
+  [[nodiscard]] static constexpr SubMesh from_base(Coord base, std::int32_t width,
+                                                   std::int32_t length) noexcept {
+    return SubMesh{base.x, base.y, base.x + width - 1, base.y + length - 1};
+  }
+
+  [[nodiscard]] constexpr std::int32_t width() const noexcept { return x2 - x1 + 1; }
+  [[nodiscard]] constexpr std::int32_t length() const noexcept { return y2 - y1 + 1; }
+  [[nodiscard]] constexpr std::int32_t area() const noexcept { return width() * length(); }
+
+  [[nodiscard]] constexpr Coord base() const noexcept { return Coord{x1, y1}; }
+  [[nodiscard]] constexpr Coord end() const noexcept { return Coord{x2, y2}; }
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return x1 <= x2 && y1 <= y2; }
+
+  [[nodiscard]] constexpr bool contains(Coord c) const noexcept {
+    return c.x >= x1 && c.x <= x2 && c.y >= y1 && c.y <= y2;
+  }
+
+  [[nodiscard]] constexpr bool contains(const SubMesh& o) const noexcept {
+    return o.x1 >= x1 && o.x2 <= x2 && o.y1 >= y1 && o.y2 <= y2;
+  }
+
+  [[nodiscard]] constexpr bool overlaps(const SubMesh& o) const noexcept {
+    return x1 <= o.x2 && o.x1 <= x2 && y1 <= o.y2 && o.y1 <= y2;
+  }
+
+  /// True if this sub-mesh is large enough to host an a×b request
+  /// (Definition 4: "suitable").
+  [[nodiscard]] constexpr bool suitable_for(std::int32_t a, std::int32_t b) const noexcept {
+    return width() >= a && length() >= b;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "(" + std::to_string(x1) + "," + std::to_string(y1) + "," +
+           std::to_string(x2) + "," + std::to_string(y2) + ")";
+  }
+
+  friend constexpr auto operator<=>(const SubMesh&, const SubMesh&) = default;
+};
+
+}  // namespace procsim::mesh

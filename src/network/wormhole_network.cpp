@@ -1,0 +1,136 @@
+#include "network/wormhole_network.hpp"
+
+#include <stdexcept>
+
+namespace procsim::network {
+
+WormholeNetwork::WormholeNetwork(des::Simulator& sim, mesh::Geometry geom,
+                                 NetworkParams params)
+    : sim_(sim), map_(geom, params.torus), params_(params) {
+  if (params.st < 0 || params.packet_len < 1)
+    throw std::invalid_argument("WormholeNetwork: bad parameters");
+  channels_.resize(static_cast<std::size_t>(map_.channel_count()));
+}
+
+void WormholeNetwork::inject(mesh::NodeId src, mesh::NodeId dst, std::uint64_t tag) {
+  std::int32_t idx;
+  if (!free_pool_.empty()) {
+    idx = free_pool_.back();
+    free_pool_.pop_back();
+  } else {
+    idx = static_cast<std::int32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Packet& p = pool_[static_cast<std::size_t>(idx)];
+  p.path = map_.route(src, dst);  // reuses pool slot; vector realloc amortises
+  p.next = 0;
+  p.held = 0;
+  p.inject_time = sim_.now();
+  p.blocked = 0;
+  p.tag = tag;
+  p.src = src;
+  p.dst = dst;
+  p.waiting = false;
+  ++metrics_.injected;
+  try_advance(idx);
+}
+
+void WormholeNetwork::try_advance(std::int32_t pkt) {
+  Packet& p = pool_[static_cast<std::size_t>(pkt)];
+  Channel& ch = channels_[static_cast<std::size_t>(p.path[static_cast<std::size_t>(p.next)])];
+  if (ch.holder < 0) {
+    acquire(pkt, sim_.now());
+  } else {
+    p.waiting = true;
+    p.block_start = sim_.now();
+    ch.waiters.push_back(pkt);
+  }
+}
+
+void WormholeNetwork::acquire(std::int32_t pkt, double now) {
+  Packet& p = pool_[static_cast<std::size_t>(pkt)];
+  const std::int32_t i = p.next;
+  const ChannelId ch_id = p.path[static_cast<std::size_t>(i)];
+  channels_[static_cast<std::size_t>(ch_id)].holder = pkt;
+  ++p.held;
+  ++p.next;
+
+  // The worm spans at most P_len channels: acquiring channel i slides the
+  // tail out of channel i - P_len one cycle later.
+  if (i >= params_.packet_len) {
+    const ChannelId trailing = p.path[static_cast<std::size_t>(i - params_.packet_len)];
+    sim_.schedule_in(1.0, [this, trailing] { release_channel(trailing); });
+  }
+
+  if (static_cast<std::size_t>(i) + 1 == p.path.size()) {
+    complete(pkt, now);
+  } else {
+    sim_.schedule_in(1.0 + static_cast<double>(params_.st),
+                     [this, pkt] { try_advance(pkt); });
+  }
+}
+
+void WormholeNetwork::complete(std::int32_t pkt, double t_eject_acquired) {
+  Packet& p = pool_[static_cast<std::size_t>(pkt)];
+  const auto len = static_cast<std::int32_t>(p.path.size());
+  const double t_done = t_eject_acquired + static_cast<double>(params_.packet_len);
+  // Channels without a scheduled slide-release: the last min(P_len, len).
+  const std::int32_t h = std::min(params_.packet_len, len);
+  for (std::int32_t d = h - 1; d >= 0; --d) {
+    const ChannelId ch = p.path[static_cast<std::size_t>(len - 1 - d)];
+    sim_.schedule_at(t_done - d, [this, ch] { release_channel(ch); });
+  }
+  sim_.schedule_at(t_done, [this, pkt] {
+    Packet& q = pool_[static_cast<std::size_t>(pkt)];
+    if (q.held != 0)
+      throw std::logic_error("WormholeNetwork: delivery before all channels released");
+    Delivery d;
+    d.tag = q.tag;
+    d.src = q.src;
+    d.dst = q.dst;
+    d.latency = sim_.now() - q.inject_time;
+    d.blocked = q.blocked;
+    d.hops = static_cast<std::int32_t>(q.path.size()) - 2;
+    metrics_.latency.add(d.latency);
+    metrics_.blocking.add(d.blocked);
+    metrics_.hops.add(static_cast<double>(d.hops));
+    ++metrics_.delivered;
+    recycle(pkt);
+    if (on_delivery_) on_delivery_(d);
+  });
+}
+
+void WormholeNetwork::release_channel(ChannelId ch_id) {
+  Channel& ch = channels_[static_cast<std::size_t>(ch_id)];
+  if (ch.holder < 0) throw std::logic_error("WormholeNetwork: releasing a free channel");
+  Packet& holder = pool_[static_cast<std::size_t>(ch.holder)];
+  --holder.held;
+  ch.holder = -1;
+  if (!ch.waiters.empty()) {
+    const std::int32_t next_pkt = ch.waiters.front();
+    ch.waiters.pop_front();
+    Packet& p = pool_[static_cast<std::size_t>(next_pkt)];
+    p.waiting = false;
+    p.blocked += sim_.now() - p.block_start;
+    acquire(next_pkt, sim_.now());
+  }
+}
+
+void WormholeNetwork::recycle(std::int32_t pkt) {
+  pool_[static_cast<std::size_t>(pkt)].path.clear();
+  free_pool_.push_back(pkt);
+}
+
+void WormholeNetwork::reset() {
+  if (in_flight() != 0)
+    throw std::logic_error("WormholeNetwork::reset: packets still in flight");
+  for (Channel& c : channels_) {
+    c.holder = -1;
+    c.waiters.clear();
+  }
+  pool_.clear();
+  free_pool_.clear();
+  metrics_.reset();
+}
+
+}  // namespace procsim::network

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "mesh/coord.hpp"
+#include "network/routing.hpp"
+#include "stats/welford.hpp"
+
+namespace procsim::network {
+
+/// Simulation parameters of the interconnect, names following the paper:
+/// `st` cycles of routing delay per node, `packet_len` flits per packet
+/// (P_len), one cycle per link per flit.
+struct NetworkParams {
+  std::int32_t st{3};
+  std::int32_t packet_len{8};
+  bool torus{false};
+};
+
+/// Completed-delivery record passed to the delivery callback.
+struct Delivery {
+  std::uint64_t tag{0};  ///< caller-defined (the owning job id)
+  mesh::NodeId src{0};
+  mesh::NodeId dst{0};
+  double latency{0};   ///< injection -> last flit delivered
+  double blocked{0};   ///< total time the header waited on busy channels
+  std::int32_t hops{0};
+};
+
+/// Aggregate network statistics for one simulation run.
+struct NetworkMetrics {
+  stats::Welford latency;
+  stats::Welford blocking;
+  stats::Welford hops;
+  std::uint64_t injected{0};
+  std::uint64_t delivered{0};
+
+  void reset() { *this = NetworkMetrics{}; }
+};
+
+/// Event-driven flit-level wormhole network.
+///
+/// Model (single-flit channel buffers, as in ProcSimity):
+///  * A packet's header acquires the channels of its XY path one by one.
+///    Crossing a channel takes 1 cycle; each router adds `st` cycles before
+///    the next acquisition attempt.
+///  * A blocked header waits in the channel's FIFO, holding everything it
+///    already acquired — the defining behaviour of wormhole switching.
+///  * A worm of P_len flits spans at most P_len consecutive channels:
+///    acquiring path channel i releases path channel i-P_len one cycle later
+///    (the worm slides forward).
+///  * When the header is ejected at time t, the remaining flits drain one per
+///    cycle: delivery completes at t + P_len and trailing channels release
+///    back-to-front.
+///
+/// Latency and blocking are accumulated per packet and reported through both
+/// the delivery callback (for per-job bookkeeping) and NetworkMetrics.
+class WormholeNetwork {
+ public:
+  using DeliveryCallback = std::function<void(const Delivery&)>;
+
+  WormholeNetwork(des::Simulator& sim, mesh::Geometry geom, NetworkParams params);
+
+  WormholeNetwork(const WormholeNetwork&) = delete;
+  WormholeNetwork& operator=(const WormholeNetwork&) = delete;
+
+  /// Injects one packet src -> dst at the current simulation time.
+  /// Precondition: src != dst.
+  void inject(mesh::NodeId src, mesh::NodeId dst, std::uint64_t tag);
+
+  /// Invoked on every completed delivery (after metrics are updated).
+  void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  [[nodiscard]] const NetworkMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] std::uint64_t in_flight() const noexcept {
+    return metrics_.injected - metrics_.delivered;
+  }
+  [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
+  [[nodiscard]] const ChannelMap& channels() const noexcept { return map_; }
+
+  /// Contention-free latency of one packet over `hops` mesh links: every
+  /// channel (injection, links, ejection) costs 1 cycle plus `st` routing
+  /// before the next, and the tail drains P_len - 1 cycles behind the header.
+  [[nodiscard]] double base_latency(std::int32_t hops) const noexcept {
+    return static_cast<double>((hops + 1) * (1 + params_.st) + params_.packet_len);
+  }
+
+  /// Drops all state (between replications). Precondition: no packet in
+  /// flight (enforced).
+  void reset();
+
+ private:
+  struct Channel {
+    std::int32_t holder{-1};          // packet pool index, -1 when free
+    std::deque<std::int32_t> waiters; // blocked packet indices, FIFO
+  };
+
+  struct Packet {
+    std::vector<ChannelId> path;
+    std::int32_t next{0};       // next path index to acquire
+    std::int32_t held{0};       // channels currently held
+    double inject_time{0};
+    double block_start{0};
+    double blocked{0};
+    std::uint64_t tag{0};
+    mesh::NodeId src{0};
+    mesh::NodeId dst{0};
+    bool waiting{false};
+  };
+
+  void try_advance(std::int32_t pkt);
+  void acquire(std::int32_t pkt, double now);
+  void release_channel(ChannelId ch);
+  void complete(std::int32_t pkt, double t_eject_acquired);
+  void recycle(std::int32_t pkt);
+
+  des::Simulator& sim_;
+  ChannelMap map_;
+  NetworkParams params_;
+  std::vector<Channel> channels_;
+  std::vector<Packet> pool_;
+  std::vector<std::int32_t> free_pool_;
+  NetworkMetrics metrics_;
+  DeliveryCallback on_delivery_;
+};
+
+}  // namespace procsim::network

@@ -1,0 +1,15 @@
+#include "sched/ordered_scheduler.hpp"
+
+namespace procsim::sched {
+
+const char* to_string(Policy p) noexcept {
+  switch (p) {
+    case Policy::kFcfs: return "FCFS";
+    case Policy::kSsd: return "SSD";
+    case Policy::kSmallestJob: return "SJF";
+    case Policy::kLargestJob: return "LJF";
+  }
+  return "?";
+}
+
+}  // namespace procsim::sched

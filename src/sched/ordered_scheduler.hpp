@@ -1,0 +1,67 @@
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "sched/scheduler.hpp"
+
+namespace procsim::sched {
+
+/// Job-ordering disciplines implemented over one ordered-set scheduler.
+enum class Policy {
+  kFcfs,          ///< First-Come-First-Served: arrival order
+  kSsd,           ///< Shortest-Service-Demand: smallest demand first
+  kSmallestJob,   ///< fewest requested processors first (extra, ablations)
+  kLargestJob,    ///< most requested processors first (extra, ablations)
+};
+
+[[nodiscard]] const char* to_string(Policy p) noexcept;
+
+/// Scheduler that keeps the waiting queue ordered by the policy's key with
+/// arrival sequence as the final tie-breaker (so equal keys behave FCFS,
+/// and behaviour is deterministic).
+class OrderedScheduler final : public Scheduler {
+ public:
+  explicit OrderedScheduler(Policy policy) : policy_(policy), queue_(Less{policy}) {}
+
+  void enqueue(const QueuedJob& job) override { queue_.insert(job); }
+
+  [[nodiscard]] std::optional<QueuedJob> head() const override {
+    if (queue_.empty()) return std::nullopt;
+    return *queue_.begin();
+  }
+
+  void pop_head() override { queue_.erase(queue_.begin()); }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+  [[nodiscard]] std::string name() const override { return to_string(policy_); }
+  void clear() override { queue_.clear(); }
+
+  [[nodiscard]] Policy policy() const noexcept { return policy_; }
+
+ private:
+  struct Less {
+    Policy policy;
+    bool operator()(const QueuedJob& a, const QueuedJob& b) const {
+      switch (policy) {
+        case Policy::kFcfs:
+          break;  // sequence alone
+        case Policy::kSsd:
+          if (a.demand != b.demand) return a.demand < b.demand;
+          break;
+        case Policy::kSmallestJob:
+          if (a.area != b.area) return a.area < b.area;
+          break;
+        case Policy::kLargestJob:
+          if (a.area != b.area) return a.area > b.area;
+          break;
+      }
+      return a.seq < b.seq;
+    }
+  };
+
+  Policy policy_;
+  std::set<QueuedJob, Less> queue_;
+};
+
+}  // namespace procsim::sched

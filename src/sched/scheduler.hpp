@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace procsim::sched {
+
+/// A job waiting for processors, as the scheduler sees it.
+struct QueuedJob {
+  std::uint64_t job_id{0};
+  double arrival{0};      ///< submission time
+  double demand{0};       ///< SSD key: known service demand
+  std::int64_t area{0};   ///< requested processors (for size-based extras)
+  std::uint64_t seq{0};   ///< arrival sequence, the universal tie-breaker
+};
+
+/// Queueing discipline. The simulator repeatedly takes `head()`, tries to
+/// allocate it, and stops at the first failure — the paper's blocking
+/// semantics for both FCFS and SSD ("allocation attempts stop when they fail
+/// for the current queue head"); the disciplines differ only in who the head
+/// is.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual void enqueue(const QueuedJob& job) = 0;
+  /// The job the discipline would start next; nullopt when empty.
+  [[nodiscard]] virtual std::optional<QueuedJob> head() const = 0;
+  /// Removes the current head. Precondition: !empty().
+  virtual void pop_head() = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void clear() = 0;
+};
+
+}  // namespace procsim::sched

@@ -1,0 +1,65 @@
+#include "stats/confidence.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace procsim::stats {
+namespace {
+
+// Two-sided critical values t_{alpha/2, df} for df = 1..30.
+constexpr std::array<double, 30> kT90 = {
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+    1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+    1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+constexpr std::array<double, 30> kT95 = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+constexpr std::array<double, 30> kT99 = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+    3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+    2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+
+}  // namespace
+
+double t_critical(std::uint64_t df, double confidence) {
+  const std::array<double, 30>* table = nullptr;
+  double z = 0;
+  if (confidence == 0.90) {
+    table = &kT90;
+    z = 1.645;
+  } else if (confidence == 0.95) {
+    table = &kT95;
+    z = 1.960;
+  } else if (confidence == 0.99) {
+    table = &kT99;
+    z = 2.576;
+  } else {
+    throw std::invalid_argument("t_critical: unsupported confidence level");
+  }
+  if (df == 0) throw std::invalid_argument("t_critical: df must be >= 1");
+  if (df <= 30) return (*table)[df - 1];
+  return z;
+}
+
+double Interval::relative_error() const noexcept {
+  if (mean != 0.0) return half_width / std::abs(mean);
+  return half_width == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+}
+
+Interval confidence_interval(const Welford& w, double confidence) {
+  Interval iv;
+  iv.mean = w.mean();
+  iv.samples = w.count();
+  if (w.count() < 2) {
+    iv.half_width = std::numeric_limits<double>::infinity();
+    return iv;
+  }
+  const double se = w.stddev() / std::sqrt(static_cast<double>(w.count()));
+  iv.half_width = t_critical(w.count() - 1, confidence) * se;
+  return iv;
+}
+
+}  // namespace procsim::stats

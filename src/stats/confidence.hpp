@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "stats/welford.hpp"
+
+namespace procsim::stats {
+
+/// Two-sided Student-t critical value for the given confidence level
+/// (supported: 0.90, 0.95, 0.99) and degrees of freedom (df >= 1; large df
+/// falls back to the normal quantile).
+[[nodiscard]] double t_critical(std::uint64_t df, double confidence);
+
+/// A mean estimate with its confidence half-width.
+struct Interval {
+  double mean{0};
+  double half_width{0};
+  std::uint64_t samples{0};
+
+  [[nodiscard]] double lo() const noexcept { return mean - half_width; }
+  [[nodiscard]] double hi() const noexcept { return mean + half_width; }
+
+  /// half_width / |mean|; infinity when the mean is zero but the spread is
+  /// not, zero when both are.
+  [[nodiscard]] double relative_error() const noexcept;
+};
+
+/// Confidence interval for the mean of the accumulated samples.
+/// Requires at least two samples (half-width is infinite below that).
+[[nodiscard]] Interval confidence_interval(const Welford& w, double confidence = 0.95);
+
+}  // namespace procsim::stats

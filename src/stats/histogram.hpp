@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace procsim::stats {
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin. Used to validate workload-model distributions in tests
+/// and to summarise trace statistics in the examples.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+    if (!(hi > lo) || bins == 0) throw std::invalid_argument("Histogram: bad range/bins");
+  }
+
+  void add(double x) noexcept {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+    if (idx < 0) idx = 0;
+    if (idx >= static_cast<std::int64_t>(counts_.size()))
+      idx = static_cast<std::int64_t>(counts_.size()) - 1;
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Fraction of samples in `bin` (0 when empty).
+  [[nodiscard]] double fraction(std::size_t bin) const {
+    return total_ ? static_cast<double>(counts_.at(bin)) / static_cast<double>(total_) : 0.0;
+  }
+
+  [[nodiscard]] double bin_lo(std::size_t bin) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace procsim::stats

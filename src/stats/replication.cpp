@@ -1,0 +1,37 @@
+#include "stats/replication.hpp"
+
+#include <stdexcept>
+
+namespace procsim::stats {
+
+void ReplicationController::add_replication(
+    const std::unordered_map<std::string, double>& metrics) {
+  for (const auto& [name, value] : metrics) acc_[name].add(value);
+  ++reps_;
+}
+
+bool ReplicationController::done() const {
+  if (reps_ < policy_.min_replications) return false;
+  if (reps_ >= policy_.max_replications) return true;
+  for (const auto& [name, w] : acc_) {
+    const Interval iv = confidence_interval(w, policy_.confidence);
+    if (iv.relative_error() > policy_.max_relative_error) return false;
+  }
+  return true;
+}
+
+Interval ReplicationController::interval(const std::string& metric) const {
+  const auto it = acc_.find(metric);
+  if (it == acc_.end())
+    throw std::out_of_range("ReplicationController: unknown metric " + metric);
+  return confidence_interval(it->second, policy_.confidence);
+}
+
+std::vector<std::string> ReplicationController::metric_names() const {
+  std::vector<std::string> names;
+  names.reserve(acc_.size());
+  for (const auto& [name, _] : acc_) names.push_back(name);
+  return names;
+}
+
+}  // namespace procsim::stats

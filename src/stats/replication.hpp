@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/welford.hpp"
+
+namespace procsim::stats {
+
+/// Stopping rule for independent replications, as used in the paper:
+/// "simulation results are averaged over enough independent runs so that the
+/// confidence level is 95% and the relative errors do not exceed 5%".
+struct ReplicationPolicy {
+  std::uint64_t min_replications{3};
+  std::uint64_t max_replications{30};
+  double confidence{0.95};
+  double max_relative_error{0.05};
+};
+
+/// Collects one scalar observation per metric per replication and decides
+/// when the policy's precision target is met across *all* registered metrics.
+class ReplicationController {
+ public:
+  explicit ReplicationController(ReplicationPolicy policy = {}) : policy_(policy) {}
+
+  /// Records replication results: one value per metric name.
+  void add_replication(const std::unordered_map<std::string, double>& metrics);
+
+  /// True once every metric meets the relative-error target (or the cap on
+  /// replications is reached).
+  [[nodiscard]] bool done() const;
+
+  [[nodiscard]] std::uint64_t replications() const noexcept { return reps_; }
+  [[nodiscard]] Interval interval(const std::string& metric) const;
+  [[nodiscard]] const ReplicationPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] std::vector<std::string> metric_names() const;
+
+ private:
+  ReplicationPolicy policy_;
+  std::uint64_t reps_{0};
+  std::unordered_map<std::string, Welford> acc_;
+};
+
+}  // namespace procsim::stats

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <stdexcept>
+
+namespace procsim::stats {
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the number of
+/// busy processors. `set(t, v)` records that the signal takes value `v` from
+/// time `t` onward; `average(t)` integrates up to `t`.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(double start_time = 0, double initial_value = 0) noexcept
+      : last_time_(start_time), value_(initial_value), start_(start_time) {}
+
+  /// Records a new value from time `t` (monotonically non-decreasing).
+  void set(double t, double v) {
+    if (t < last_time_) throw std::invalid_argument("TimeWeighted: time went backwards");
+    integral_ += value_ * (t - last_time_);
+    last_time_ = t;
+    value_ = v;
+  }
+
+  /// Adds `dv` to the current value at time `t`.
+  void add(double t, double dv) { set(t, value_ + dv); }
+
+  [[nodiscard]] double current() const noexcept { return value_; }
+
+  /// Integral of the signal over [start, t].
+  [[nodiscard]] double integral(double t) const {
+    if (t < last_time_) throw std::invalid_argument("TimeWeighted: time went backwards");
+    return integral_ + value_ * (t - last_time_);
+  }
+
+  /// Time average over [start, t]; 0 over an empty interval.
+  [[nodiscard]] double average(double t) const {
+    const double span = t - start_;
+    return span > 0 ? integral(t) / span : 0.0;
+  }
+
+  /// Restarts the observation window at time `t`, keeping the current value.
+  /// Used to discard the warm-up transient.
+  void reset_window(double t) {
+    if (t < last_time_) throw std::invalid_argument("TimeWeighted: time went backwards");
+    integral_ = 0;
+    last_time_ = t;
+    start_ = t;
+  }
+
+ private:
+  double last_time_;
+  double value_;
+  double start_;
+  double integral_{0};
+};
+
+}  // namespace procsim::stats

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "mesh/coord.hpp"
+
+namespace procsim::workload {
+
+/// Maps a trace job's processor count to a requested sub-mesh (a, b):
+/// the smallest-area a×b >= p that fits in the mesh, preferring the most
+/// square shape (smallest perimeter) among equals. Trace files record only
+/// "p processors"; contiguity-seeking strategies (GABL, the contiguous
+/// baselines) need a shape, and near-square minimises path lengths.
+[[nodiscard]] std::pair<std::int32_t, std::int32_t> shape_for_processors(
+    std::int32_t p, const mesh::Geometry& geom);
+
+}  // namespace procsim::workload

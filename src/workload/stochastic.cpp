@@ -1,0 +1,64 @@
+#include "workload/stochastic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "des/distributions.hpp"
+
+namespace procsim::workload {
+
+const char* to_string(SideDistribution d) noexcept {
+  switch (d) {
+    case SideDistribution::kUniform: return "uniform";
+    case SideDistribution::kExponential: return "exponential";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] std::int32_t sample_side(des::Xoshiro256SS& rng, SideDistribution dist,
+                                       std::int32_t extent) {
+  switch (dist) {
+    case SideDistribution::kUniform:
+      return static_cast<std::int32_t>(des::sample_uniform_int(rng, 1, extent));
+    case SideDistribution::kExponential: {
+      // Mean of half the side, rounded, clamped into [1, extent] — the
+      // clamping follows the literature's use of truncated exponentials.
+      const double x = des::sample_exponential(rng, static_cast<double>(extent) / 2.0);
+      return std::clamp(static_cast<std::int32_t>(std::lround(x)), 1, extent);
+    }
+  }
+  throw std::logic_error("sample_side: bad distribution");
+}
+
+}  // namespace
+
+std::vector<Job> generate_stochastic(const StochasticParams& params,
+                                     const mesh::Geometry& geom, std::size_t count,
+                                     des::Xoshiro256SS& rng, double start,
+                                     std::uint64_t first_id) {
+  if (params.load <= 0) throw std::invalid_argument("generate_stochastic: load must be > 0");
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  double t = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += des::sample_exponential(rng, 1.0 / params.load);
+    Job job;
+    job.id = first_id + i;
+    job.arrival = t;
+    job.width = sample_side(rng, params.side_dist, geom.width());
+    job.length = sample_side(rng, params.side_dist, geom.length());
+    job.processors = job.width * job.length;
+    const std::int64_t count = des::sample_exponential_count(rng, params.mean_messages);
+    job.message_plan =
+        network::generate_message_plan(params.pattern, job.processors, count, rng);
+    job.demand =
+        static_cast<double>(job.total_messages()) * static_cast<double>(params.packet_len);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace procsim::workload

@@ -1,0 +1,72 @@
+#include "workload/swf.hpp"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace procsim::workload {
+
+TraceStats compute_stats(const std::vector<TraceJob>& jobs) {
+  TraceStats s;
+  s.jobs = jobs.size();
+  if (jobs.empty()) return s;
+  double size_sum = 0;
+  double run_sum = 0;
+  std::size_t pow2 = 0;
+  for (const TraceJob& j : jobs) {
+    size_sum += j.processors;
+    run_sum += j.runtime;
+    if (std::has_single_bit(static_cast<std::uint32_t>(j.processors))) ++pow2;
+    if (j.processors > s.max_size) s.max_size = j.processors;
+  }
+  s.mean_size = size_sum / static_cast<double>(jobs.size());
+  s.mean_runtime = run_sum / static_cast<double>(jobs.size());
+  s.power_of_two_fraction = static_cast<double>(pow2) / static_cast<double>(jobs.size());
+  if (jobs.size() > 1) {
+    // Jobs are in submit order in a well-formed trace; be robust to noise.
+    double first = jobs.front().submit;
+    double last = first;
+    for (const TraceJob& j : jobs) {
+      if (j.submit < first) first = j.submit;
+      if (j.submit > last) last = j.submit;
+    }
+    s.mean_interarrival = (last - first) / static_cast<double>(jobs.size() - 1);
+  }
+  return s;
+}
+
+std::vector<TraceJob> parse_swf(std::istream& in, std::int32_t max_processors) {
+  std::vector<TraceJob> jobs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == ';') continue;
+    std::istringstream fields(line);
+    double field[18];
+    int n = 0;
+    while (n < 18 && (fields >> field[n])) ++n;
+    if (n < 5) continue;  // malformed record
+
+    TraceJob j;
+    j.submit = field[1];
+    j.runtime = field[3];
+    const double used = field[4];
+    const double requested = n > 7 ? field[7] : -1;
+    const double proc_field = requested > 0 ? requested : used;
+    if (proc_field <= 0) continue;
+    j.processors = static_cast<std::int32_t>(proc_field);
+    if (j.runtime < 0 && n > 8 && field[8] > 0) j.runtime = field[8];
+    if (j.submit < 0 || j.runtime < 0) continue;
+    if (max_processors > 0 && j.processors > max_processors) continue;
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+std::vector<TraceJob> load_swf_file(const std::string& path, std::int32_t max_processors) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_swf_file: cannot open " + path);
+  return parse_swf(in, max_processors);
+}
+
+}  // namespace procsim::workload

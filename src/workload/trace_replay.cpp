@@ -1,0 +1,52 @@
+#include "workload/trace_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "des/distributions.hpp"
+#include "workload/shape.hpp"
+
+namespace procsim::workload {
+
+double arrival_factor_for_load(double load, double trace_mean_interarrival) {
+  if (load <= 0 || trace_mean_interarrival <= 0)
+    throw std::invalid_argument("arrival_factor_for_load: non-positive inputs");
+  return 1.0 / (load * trace_mean_interarrival);
+}
+
+std::vector<Job> make_trace_jobs(const std::vector<TraceJob>& trace,
+                                 const TraceReplayParams& params,
+                                 const mesh::Geometry& geom, des::Xoshiro256SS& rng) {
+  if (params.arrival_factor <= 0)
+    throw std::invalid_argument("make_trace_jobs: arrival_factor must be > 0");
+  const std::size_t count =
+      params.prefix == 0 ? trace.size() : std::min(params.prefix, trace.size());
+
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const TraceJob& rec = trace[i];
+    Job job;
+    job.id = i;
+    job.arrival = rec.submit * params.arrival_factor;
+    job.processors = std::clamp(rec.processors, 1, geom.nodes());
+    const auto [a, b] = shape_for_processors(job.processors, geom);
+    job.width = a;
+    job.length = b;
+    job.trace_runtime = rec.runtime;
+    job.demand = rec.runtime;  // SSD orders by recorded execution time
+
+    const double mean_msgs =
+        std::clamp(rec.runtime / params.runtime_scale, 1.0,
+                   static_cast<double>(params.max_messages));
+    const std::int64_t count =
+        std::min(des::sample_exponential_count(rng, mean_msgs), params.max_messages);
+    job.message_plan =
+        network::generate_message_plan(params.pattern, job.processors, count, rng);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace procsim::workload

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/figure_runner.hpp"
+
+namespace {
+
+using procsim::core::AggregateResult;
+using procsim::core::AllocatorKind;
+using procsim::core::AllocatorSpec;
+using procsim::core::build_jobs;
+using procsim::core::ExperimentConfig;
+using procsim::core::FigureSpec;
+using procsim::core::make_allocator;
+using procsim::core::make_scheduler;
+using procsim::core::paper_series;
+using procsim::core::run_figure;
+using procsim::core::run_once;
+using procsim::core::run_replicated;
+using procsim::core::RunMetrics;
+using procsim::core::RunOptions;
+using procsim::core::WorkloadKind;
+using procsim::mesh::Geometry;
+
+TEST(Factories, AllAllocatorKindsConstructible) {
+  for (const auto kind :
+       {AllocatorKind::kGabl, AllocatorKind::kPaging, AllocatorKind::kMbs,
+        AllocatorKind::kFirstFit, AllocatorKind::kBestFit, AllocatorKind::kRandom}) {
+    AllocatorSpec spec;
+    spec.kind = kind;
+    const auto a = make_allocator(spec, Geometry(8, 8), 1);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->free_processors(), 64);
+    EXPECT_FALSE(a->name().empty());
+  }
+}
+
+TEST(Factories, SeriesLabels) {
+  ExperimentConfig cfg;
+  cfg.allocator.kind = AllocatorKind::kPaging;
+  cfg.scheduler = procsim::sched::Policy::kSsd;
+  EXPECT_EQ(cfg.series_label(), "Paging(0)(SSD)");
+  cfg.allocator.kind = AllocatorKind::kGabl;
+  cfg.scheduler = procsim::sched::Policy::kFcfs;
+  EXPECT_EQ(cfg.series_label(), "GABL(FCFS)");
+}
+
+TEST(Factories, PaperSeriesIsSixStrategyPairs) {
+  const auto series = paper_series();
+  ASSERT_EQ(series.size(), 6u);
+}
+
+TEST(BuildJobs, StochasticCountAndSorting) {
+  procsim::core::WorkloadSpec spec;
+  spec.kind = WorkloadKind::kStochastic;
+  spec.job_count = 50;
+  spec.stochastic.load = 0.01;
+  const auto jobs = build_jobs(spec, Geometry(16, 22), 8, 7);
+  ASSERT_EQ(jobs.size(), 50u);
+  for (std::size_t i = 1; i < jobs.size(); ++i)
+    EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+}
+
+TEST(BuildJobs, TraceLoadControlsMeanInterarrival) {
+  procsim::core::WorkloadSpec spec;
+  spec.kind = WorkloadKind::kTrace;
+  spec.load = 0.01;
+  spec.paragon.jobs = 4000;
+  const auto jobs = build_jobs(spec, Geometry(16, 22), 8, 7);
+  ASSERT_EQ(jobs.size(), 4000u);
+  const double mean_ia = jobs.back().arrival / static_cast<double>(jobs.size() - 1);
+  EXPECT_NEAR(mean_ia, 100.0, 10.0);  // 1/load
+}
+
+TEST(RunOnce, ProducesConsistentMetrics) {
+  ExperimentConfig cfg;
+  cfg.sys.geom = Geometry(16, 22);
+  cfg.sys.target_completions = 100;
+  cfg.workload.kind = WorkloadKind::kStochastic;
+  cfg.workload.job_count = 100;
+  cfg.workload.stochastic.load = 0.01;
+  cfg.seed = 3;
+  const RunMetrics m = run_once(cfg);
+  EXPECT_EQ(m.completed, 100u);
+  EXPECT_GT(m.turnaround.mean(), 0);
+  EXPECT_GE(m.turnaround.mean(), m.service.mean());  // wait >= 0
+  EXPECT_GT(m.packet_latency.mean(), 0);
+  EXPECT_GE(m.packet_latency.mean(), m.packet_blocking.mean());
+  EXPECT_GT(m.utilization, 0);
+  EXPECT_LE(m.utilization, 1.0);
+  EXPECT_GT(m.packets, 0u);
+}
+
+TEST(RunOnce, SameSeedSameResults) {
+  ExperimentConfig cfg;
+  cfg.sys.target_completions = 60;
+  cfg.workload.job_count = 60;
+  cfg.workload.stochastic.load = 0.02;
+  cfg.seed = 11;
+  const RunMetrics a = run_once(cfg);
+  const RunMetrics b = run_once(cfg);
+  EXPECT_DOUBLE_EQ(a.turnaround.mean(), b.turnaround.mean());
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(RunOnce, DifferentSeedsDiffer) {
+  ExperimentConfig cfg;
+  cfg.sys.target_completions = 60;
+  cfg.workload.job_count = 60;
+  cfg.workload.stochastic.load = 0.02;
+  cfg.seed = 11;
+  const RunMetrics a = run_once(cfg);
+  cfg.seed = 12;
+  const RunMetrics b = run_once(cfg);
+  EXPECT_NE(a.turnaround.mean(), b.turnaround.mean());
+}
+
+TEST(Replicated, RunsAtLeastMinAndReportsIntervals) {
+  ExperimentConfig cfg;
+  cfg.sys.target_completions = 40;
+  cfg.workload.job_count = 40;
+  cfg.workload.stochastic.load = 0.01;
+  procsim::stats::ReplicationPolicy policy;
+  policy.min_replications = 2;
+  policy.max_replications = 3;
+  const AggregateResult res = run_replicated(cfg, policy);
+  EXPECT_GE(res.replications, 2u);
+  EXPECT_LE(res.replications, 3u);
+  ASSERT_TRUE(res.metrics.contains("turnaround"));
+  ASSERT_TRUE(res.metrics.contains("utilization"));
+  EXPECT_GT(res.metrics.at("turnaround").mean, 0);
+}
+
+TEST(FigureRunner, EmitsCsvWithAllSeries) {
+  FigureSpec spec;
+  spec.id = "figtest";
+  spec.title = "test figure";
+  spec.metric = "turnaround";
+  spec.loads = {0.005, 0.01};
+  spec.series = paper_series();
+  spec.base.sys.target_completions = 30;
+  spec.base.workload.kind = WorkloadKind::kStochastic;
+  spec.base.workload.job_count = 30;
+
+  RunOptions opts;
+  opts.fast = true;
+  opts.min_reps = opts.max_reps = 1;
+
+  std::ostringstream out;
+  run_figure(spec, opts, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# figtest"), std::string::npos);
+  EXPECT_NE(text.find("GABL(FCFS)"), std::string::npos);
+  EXPECT_NE(text.find("MBS(SSD)"), std::string::npos);
+  // Two header comment lines + column header + 2 data rows.
+  int rows = 0;
+  for (const char c : text)
+    if (c == '\n') ++rows;
+  EXPECT_EQ(rows, 5);
+}
+
+TEST(FigureRunner, ParseRunOptions) {
+  const char* argv[] = {"bench", "--fast", "--jobs=123", "--seed=9"};
+  const RunOptions opts =
+      procsim::core::parse_run_options(4, const_cast<char**>(argv));
+  EXPECT_TRUE(opts.fast);
+  EXPECT_EQ(opts.jobs, 123u);
+  EXPECT_EQ(opts.seed, 9u);
+  EXPECT_EQ(opts.max_reps, 1u);  // fast forces single rep
+}
+
+TEST(FigureRunner, UnknownMetricThrows) {
+  FigureSpec spec;
+  spec.id = "bad";
+  spec.metric = "no_such_metric";
+  spec.loads = {0.01};
+  spec.series = {paper_series()[0]};
+  spec.base.sys.target_completions = 10;
+  spec.base.workload.job_count = 10;
+  RunOptions opts;
+  opts.fast = true;
+  std::ostringstream out;
+  EXPECT_THROW(run_figure(spec, opts, out), std::logic_error);
+}
+
+}  // namespace

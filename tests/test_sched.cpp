@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sched/ordered_scheduler.hpp"
+
+namespace {
+
+using procsim::sched::OrderedScheduler;
+using procsim::sched::Policy;
+using procsim::sched::QueuedJob;
+
+QueuedJob job(std::uint64_t id, double demand, std::int64_t area, std::uint64_t seq) {
+  QueuedJob q;
+  q.job_id = id;
+  q.demand = demand;
+  q.area = area;
+  q.seq = seq;
+  q.arrival = static_cast<double>(seq);
+  return q;
+}
+
+TEST(Fcfs, HeadIsArrivalOrder) {
+  OrderedScheduler s(Policy::kFcfs);
+  s.enqueue(job(10, 99, 5, 2));
+  s.enqueue(job(11, 1, 50, 0));
+  s.enqueue(job(12, 50, 1, 1));
+  ASSERT_TRUE(s.head().has_value());
+  EXPECT_EQ(s.head()->job_id, 11u);
+  s.pop_head();
+  EXPECT_EQ(s.head()->job_id, 12u);
+  s.pop_head();
+  EXPECT_EQ(s.head()->job_id, 10u);
+  s.pop_head();
+  EXPECT_FALSE(s.head().has_value());
+}
+
+TEST(Ssd, HeadIsShortestDemand) {
+  OrderedScheduler s(Policy::kSsd);
+  s.enqueue(job(1, 300, 1, 0));
+  s.enqueue(job(2, 10, 1, 1));
+  s.enqueue(job(3, 100, 1, 2));
+  EXPECT_EQ(s.head()->job_id, 2u);
+  s.pop_head();
+  EXPECT_EQ(s.head()->job_id, 3u);
+  s.pop_head();
+  EXPECT_EQ(s.head()->job_id, 1u);
+}
+
+TEST(Ssd, TiesBreakFcfs) {
+  OrderedScheduler s(Policy::kSsd);
+  s.enqueue(job(1, 50, 1, 0));
+  s.enqueue(job(2, 50, 1, 1));
+  EXPECT_EQ(s.head()->job_id, 1u);
+}
+
+TEST(Ssd, LateShortJobOvertakes) {
+  OrderedScheduler s(Policy::kSsd);
+  s.enqueue(job(1, 500, 1, 0));
+  s.enqueue(job(2, 5, 1, 1));  // arrives later, much shorter
+  EXPECT_EQ(s.head()->job_id, 2u);
+}
+
+TEST(SmallestJob, OrdersByArea) {
+  OrderedScheduler s(Policy::kSmallestJob);
+  s.enqueue(job(1, 1, 100, 0));
+  s.enqueue(job(2, 1, 4, 1));
+  EXPECT_EQ(s.head()->job_id, 2u);
+  EXPECT_EQ(s.name(), "SJF");
+}
+
+TEST(LargestJob, OrdersByAreaDescending) {
+  OrderedScheduler s(Policy::kLargestJob);
+  s.enqueue(job(1, 1, 4, 0));
+  s.enqueue(job(2, 1, 100, 1));
+  EXPECT_EQ(s.head()->job_id, 2u);
+  EXPECT_EQ(s.name(), "LJF");
+}
+
+TEST(Scheduler, SizeAndClear) {
+  OrderedScheduler s(Policy::kFcfs);
+  EXPECT_TRUE(s.empty());
+  s.enqueue(job(1, 1, 1, 0));
+  s.enqueue(job(2, 1, 1, 1));
+  EXPECT_EQ(s.size(), 2u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.head().has_value());
+}
+
+TEST(Scheduler, Names) {
+  EXPECT_EQ(OrderedScheduler(Policy::kFcfs).name(), "FCFS");
+  EXPECT_EQ(OrderedScheduler(Policy::kSsd).name(), "SSD");
+}
+
+}  // namespace

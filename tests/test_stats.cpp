@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "des/rng.hpp"
+#include "stats/confidence.hpp"
+#include "stats/histogram.hpp"
+#include "stats/replication.hpp"
+#include "stats/time_weighted.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+using procsim::stats::confidence_interval;
+using procsim::stats::Histogram;
+using procsim::stats::Interval;
+using procsim::stats::ReplicationController;
+using procsim::stats::ReplicationPolicy;
+using procsim::stats::t_critical;
+using procsim::stats::TimeWeighted;
+using procsim::stats::Welford;
+
+TEST(Welford, EmptyIsZeroMean) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(w.min()));
+  EXPECT_TRUE(std::isnan(w.max()));
+}
+
+TEST(Welford, MeanAndVarianceExact) {
+  Welford w;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, SingleSampleVarianceZero) {
+  Welford w;
+  w.add(3.5);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.5);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  Welford a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmptyIsIdentity) {
+  Welford a, empty;
+  a.add(1);
+  a.add(2);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  Welford b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Welford, NumericallyStableAroundLargeOffset) {
+  Welford w;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) w.add(offset + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(w.mean(), offset, 1e-3);
+  // Exactly alternating +-1: sample variance = n/(n-1).
+  EXPECT_NEAR(w.variance(), 1000.0 / 999.0, 1e-6);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+  TimeWeighted tw;
+  tw.set(0, 2);   // value 2 over [0, 10)
+  tw.set(10, 6);  // value 6 over [10, 20)
+  EXPECT_DOUBLE_EQ(tw.average(20), 4.0);
+  EXPECT_DOUBLE_EQ(tw.integral(20), 80.0);
+}
+
+TEST(TimeWeighted, AddIsRelative) {
+  TimeWeighted tw;
+  tw.add(0, 5);
+  tw.add(10, -3);
+  EXPECT_DOUBLE_EQ(tw.current(), 2.0);
+  EXPECT_DOUBLE_EQ(tw.average(20), (5 * 10 + 2 * 10) / 20.0);
+}
+
+TEST(TimeWeighted, RejectsTimeGoingBackwards) {
+  TimeWeighted tw;
+  tw.set(10, 1);
+  EXPECT_THROW(tw.set(5, 2), std::invalid_argument);
+  EXPECT_THROW((void)tw.integral(5), std::invalid_argument);
+}
+
+TEST(TimeWeighted, WindowResetDiscardsHistory) {
+  TimeWeighted tw;
+  tw.set(0, 100);     // transient
+  tw.reset_window(10);
+  tw.set(15, 100);    // steady state: 100 from t=15
+  // Over [10, 20]: 100 for [10,15) (current value kept) + 100 for [15,20).
+  EXPECT_DOUBLE_EQ(tw.average(20), 100.0);
+}
+
+TEST(TimeWeighted, EmptyWindowAverageIsZero) {
+  TimeWeighted tw;
+  EXPECT_DOUBLE_EQ(tw.average(0), 0.0);
+}
+
+TEST(Confidence, TCriticalKnownValues) {
+  EXPECT_NEAR(t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical(9, 0.95), 2.262, 1e-3);
+  EXPECT_NEAR(t_critical(30, 0.95), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical(1000, 0.95), 1.960, 1e-3);
+  EXPECT_NEAR(t_critical(9, 0.90), 1.833, 1e-3);
+  EXPECT_NEAR(t_critical(9, 0.99), 3.250, 1e-3);
+}
+
+TEST(Confidence, TCriticalRejectsBadInputs) {
+  EXPECT_THROW((void)t_critical(0, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)t_critical(5, 0.80), std::invalid_argument);
+}
+
+TEST(Confidence, IntervalInfiniteBelowTwoSamples) {
+  Welford w;
+  w.add(5);
+  const Interval iv = confidence_interval(w);
+  EXPECT_TRUE(std::isinf(iv.half_width));
+}
+
+TEST(Confidence, IntervalMatchesHandComputation) {
+  Welford w;
+  for (const double x : {10.0, 12.0, 14.0}) w.add(x);
+  const Interval iv = confidence_interval(w, 0.95);
+  EXPECT_DOUBLE_EQ(iv.mean, 12.0);
+  const double se = 2.0 / std::sqrt(3.0);
+  EXPECT_NEAR(iv.half_width, 4.303 * se, 1e-3);
+  EXPECT_NEAR(iv.lo(), 12.0 - iv.half_width, 1e-12);
+  EXPECT_NEAR(iv.hi(), 12.0 + iv.half_width, 1e-12);
+}
+
+TEST(Confidence, RelativeErrorEdgeCases) {
+  Interval iv;
+  iv.mean = 0;
+  iv.half_width = 0;
+  EXPECT_DOUBLE_EQ(iv.relative_error(), 0.0);
+  iv.half_width = 1;
+  EXPECT_TRUE(std::isinf(iv.relative_error()));
+  iv.mean = 10;
+  iv.half_width = 0.5;
+  EXPECT_DOUBLE_EQ(iv.relative_error(), 0.05);
+}
+
+TEST(Replication, StopsWhenPreciseEnough) {
+  ReplicationPolicy policy;
+  policy.min_replications = 3;
+  policy.max_replications = 100;
+  policy.max_relative_error = 0.05;
+  ReplicationController c(policy);
+  // Identical observations: precise after the minimum count.
+  for (int i = 0; i < 3; ++i) c.add_replication({{"m", 10.0}});
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.replications(), 3u);
+  EXPECT_NEAR(c.interval("m").mean, 10.0, 1e-12);
+}
+
+TEST(Replication, KeepsGoingWhenNoisy) {
+  ReplicationPolicy policy;
+  policy.min_replications = 3;
+  policy.max_replications = 100;
+  ReplicationController c(policy);
+  c.add_replication({{"m", 1.0}});
+  c.add_replication({{"m", 100.0}});
+  c.add_replication({{"m", 1.0}});
+  EXPECT_FALSE(c.done());
+}
+
+TEST(Replication, RespectsMaxCap) {
+  ReplicationPolicy policy;
+  policy.min_replications = 1;
+  policy.max_replications = 4;
+  ReplicationController c(policy);
+  procsim::des::Xoshiro256SS rng(3);
+  for (int i = 0; i < 4; ++i)
+    c.add_replication({{"m", rng.next_double() * 1e6}});
+  EXPECT_TRUE(c.done());
+}
+
+TEST(Replication, TracksMultipleMetricsIndependently) {
+  ReplicationPolicy policy;
+  policy.min_replications = 3;
+  ReplicationController c(policy);
+  for (int i = 0; i < 3; ++i)
+    c.add_replication({{"stable", 5.0}, {"noisy", i * 100.0}});
+  EXPECT_FALSE(c.done());  // noisy holds it open
+  EXPECT_EQ(c.metric_names().size(), 2u);
+  EXPECT_THROW((void)c.interval("absent"), std::out_of_range);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(-100);  // clamps into bin 0
+  h.add(0.5);
+  h.add(9.5);
+  h.add(100);  // clamps into last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(5, 5, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "des/distributions.hpp"
+#include "des/rng.hpp"
+#include "mesh/free_submesh_scan.hpp"
+#include "mesh/mesh_state.hpp"
+
+namespace {
+
+using procsim::mesh::Coord;
+using procsim::mesh::FreeSubmeshScan;
+using procsim::mesh::Geometry;
+using procsim::mesh::MeshState;
+using procsim::mesh::SubMesh;
+
+/// Brute-force reference: is the rectangle free, node by node?
+bool ref_free(const MeshState& m, const SubMesh& s) { return m.all_free(s); }
+
+TEST(Scan, EmptyMeshFirstFitAtOrigin) {
+  MeshState m(Geometry(8, 6));
+  const FreeSubmeshScan scan(m);
+  const auto s = scan.first_fit(3, 2);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, SubMesh::from_base(Coord{0, 0}, 3, 2));
+}
+
+TEST(Scan, OversizedRequestFails) {
+  MeshState m(Geometry(8, 6));
+  const FreeSubmeshScan scan(m);
+  EXPECT_FALSE(scan.first_fit(9, 1).has_value());
+  EXPECT_FALSE(scan.first_fit(1, 7).has_value());
+  EXPECT_THROW((void)scan.first_fit(0, 1), std::invalid_argument);
+}
+
+TEST(Scan, FirstFitSkipsBusyRegions) {
+  MeshState m(Geometry(8, 6));
+  m.allocate(SubMesh{0, 0, 7, 0});  // whole first row busy
+  const FreeSubmeshScan scan(m);
+  const auto s = scan.first_fit(8, 1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->y1, 1);
+}
+
+TEST(Scan, RotatableTriesBothOrientations) {
+  MeshState m(Geometry(8, 4));
+  const FreeSubmeshScan scan(m);
+  // 2×6 does not fit upright in a length-4 mesh, but 6×2 does.
+  EXPECT_FALSE(scan.first_fit(2, 6).has_value());
+  const auto s = scan.first_fit_rotatable(2, 6);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->width(), 6);
+  EXPECT_EQ(s->length(), 2);
+}
+
+TEST(Scan, BusyInCountsExactly) {
+  MeshState m(Geometry(5, 5));
+  m.allocate(SubMesh{1, 1, 2, 2});  // 4 nodes
+  const FreeSubmeshScan scan(m);
+  EXPECT_EQ(scan.busy_in(SubMesh{0, 0, 4, 4}), 4);
+  EXPECT_EQ(scan.busy_in(SubMesh{0, 0, 1, 1}), 1);
+  EXPECT_EQ(scan.busy_in(SubMesh{3, 3, 4, 4}), 0);
+  EXPECT_THROW((void)scan.busy_in(SubMesh{0, 0, 5, 5}), std::invalid_argument);
+}
+
+TEST(Scan, BestFitPrefersTightCorners) {
+  MeshState m(Geometry(6, 6));
+  // Busy L-shape leaves a snug 2×2 pocket at the origin corner.
+  m.allocate(SubMesh{2, 0, 5, 1});
+  m.allocate(SubMesh{0, 2, 1, 5});
+  const FreeSubmeshScan scan(m);
+  const auto s = scan.best_fit(2, 2);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, SubMesh::from_base(Coord{0, 0}, 2, 2));
+}
+
+TEST(Scan, LargestFreeFindsWholeEmptyMesh) {
+  MeshState m(Geometry(7, 5));
+  const FreeSubmeshScan scan(m);
+  const auto s = scan.largest_free(100, 100);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->area(), 35);
+}
+
+TEST(Scan, LargestFreeRespectsSideCaps) {
+  MeshState m(Geometry(7, 5));
+  const FreeSubmeshScan scan(m);
+  const auto s = scan.largest_free(3, 2);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_LE(s->width(), 3);
+  EXPECT_LE(s->length(), 2);
+  EXPECT_EQ(s->area(), 6);
+}
+
+TEST(Scan, LargestFreeRespectsAreaBudget) {
+  MeshState m(Geometry(7, 5));
+  const FreeSubmeshScan scan(m);
+  const auto s = scan.largest_free(7, 5, 11);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_LE(s->area(), 11);
+  // The best area <= 11 within a free 7×5 is 10 (5×2 or 2×5 or 10×1...).
+  EXPECT_GE(s->area(), 10);
+}
+
+TEST(Scan, LargestFreeNulloptWhenFull) {
+  MeshState m(Geometry(3, 3));
+  m.allocate(SubMesh{0, 0, 2, 2});
+  const FreeSubmeshScan scan(m);
+  EXPECT_FALSE(scan.largest_free(3, 3).has_value());
+}
+
+TEST(Scan, LargestFreeFindsSingleHole) {
+  MeshState m(Geometry(4, 4));
+  m.allocate(SubMesh{0, 0, 3, 3});
+  m.release(m.geometry().id(Coord{2, 1}));
+  const FreeSubmeshScan scan(m);
+  const auto s = scan.largest_free(4, 4);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, (SubMesh{2, 1, 2, 1}));
+}
+
+/// Property: against random occupancy, scan results agree with brute force.
+class ScanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScanProperty, AgreesWithBruteForce) {
+  procsim::des::Xoshiro256SS rng(GetParam());
+  const Geometry g(9, 7);
+  MeshState m(g);
+  for (std::int32_t n = 0; n < g.nodes(); ++n)
+    if (procsim::des::sample_bernoulli(rng, 0.4)) m.allocate(n);
+  const FreeSubmeshScan scan(m);
+
+  for (std::int32_t a = 1; a <= g.width(); ++a) {
+    for (std::int32_t b = 1; b <= g.length(); ++b) {
+      // first_fit agrees with a row-major brute-force search.
+      std::optional<SubMesh> ref;
+      for (std::int32_t y = 0; y + b <= g.length() && !ref; ++y)
+        for (std::int32_t x = 0; x + a <= g.width() && !ref; ++x) {
+          const SubMesh cand = SubMesh::from_base(Coord{x, y}, a, b);
+          if (ref_free(m, cand)) ref = cand;
+        }
+      EXPECT_EQ(scan.first_fit(a, b), ref) << "a=" << a << " b=" << b;
+    }
+  }
+
+  // largest_free returns a genuinely free rectangle of maximal area.
+  const auto best = scan.largest_free(g.width(), g.length());
+  std::int64_t ref_best = 0;
+  for (std::int32_t a = 1; a <= g.width(); ++a)
+    for (std::int32_t b = 1; b <= g.length(); ++b)
+      for (std::int32_t y = 0; y + b <= g.length(); ++y)
+        for (std::int32_t x = 0; x + a <= g.width(); ++x) {
+          const SubMesh cand = SubMesh::from_base(Coord{x, y}, a, b);
+          if (ref_free(m, cand)) ref_best = std::max<std::int64_t>(ref_best, cand.area());
+        }
+  if (ref_best == 0) {
+    EXPECT_FALSE(best.has_value());
+  } else {
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(ref_free(m, *best));
+    EXPECT_EQ(best->area(), ref_best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOccupancies, ScanProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace

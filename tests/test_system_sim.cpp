@@ -1,0 +1,255 @@
+// End-to-end integration tests of the coupled scheduler/allocator/network
+// simulation on small meshes with hand-checkable schedules.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/gabl.hpp"
+#include "alloc/paging.hpp"
+#include "core/system_sim.hpp"
+#include "sched/ordered_scheduler.hpp"
+#include "workload/stochastic.hpp"
+
+namespace {
+
+using procsim::alloc::GablAllocator;
+using procsim::alloc::PagingAllocator;
+using procsim::core::RunMetrics;
+using procsim::core::SystemConfig;
+using procsim::core::SystemSim;
+using procsim::mesh::Geometry;
+using procsim::sched::OrderedScheduler;
+using procsim::sched::Policy;
+using procsim::workload::Job;
+
+Job make_job(std::uint64_t id, double arrival, std::int32_t w, std::int32_t l,
+             std::vector<procsim::workload::MessagePlanEntry> plan, double demand = 0) {
+  Job j;
+  j.id = id;
+  j.arrival = arrival;
+  j.width = w;
+  j.length = l;
+  j.processors = w * l;
+  j.message_plan = std::move(plan);
+  j.demand = demand;
+  return j;
+}
+
+TEST(SystemSim, SingleProcessorJobNominalService) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  cfg.target_completions = 1;
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  const std::vector<Job> jobs{make_job(0, 10.0, 1, 1, {})};
+  const RunMetrics m = sim.run(jobs);
+  EXPECT_EQ(m.completed, 1u);
+  // Nominal service: 1 + st + P_len = 1 + 3 + 8 = 12.
+  EXPECT_DOUBLE_EQ(m.service.mean(), 12.0);
+  EXPECT_DOUBLE_EQ(m.turnaround.mean(), 12.0);
+}
+
+TEST(SystemSim, TwoProcessorJobServiceEqualsPacketLatency) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  cfg.target_completions = 1;
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  // 2×1 job, one message between the two (adjacent) processors:
+  // latency = 2 channels × (1+3) + ... = (1+1)(1+3)+8 = 16.
+  const std::vector<Job> jobs{make_job(0, 0.0, 2, 1, {{0, 1}})};
+  const RunMetrics m = sim.run(jobs);
+  EXPECT_EQ(m.completed, 1u);
+  EXPECT_DOUBLE_EQ(m.packet_latency.mean(), 16.0);
+  EXPECT_DOUBLE_EQ(m.service.mean(), 16.0);
+  EXPECT_DOUBLE_EQ(m.packet_blocking.mean(), 0.0);
+  EXPECT_EQ(m.packets, 1u);
+}
+
+TEST(SystemSim, ThinkTimeDelaysSecondMessage) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  cfg.target_completions = 1;
+  cfg.think_time = 100;
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  // Two messages from the same source: service = 16 + 100 + 16 = 132.
+  const std::vector<Job> jobs{make_job(0, 0.0, 2, 1, {{0, 1}, {0, 1}})};
+  const RunMetrics m = sim.run(jobs);
+  EXPECT_DOUBLE_EQ(m.service.mean(), 132.0);
+  // Pacing means the second packet never queues: zero blocking.
+  EXPECT_DOUBLE_EQ(m.packet_blocking.mean(), 0.0);
+}
+
+TEST(SystemSim, FcfsBlocksBehindBigJob) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  cfg.target_completions = 3;
+  PagingAllocator alloc(cfg.geom, 0);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  // Job 0 takes the whole mesh; jobs 1 (whole mesh) and 2 (tiny) queue.
+  // Under FCFS the tiny job cannot overtake the waiting whole-mesh job.
+  const std::vector<Job> jobs{
+      make_job(0, 0.0, 4, 4, {{0, 15}}, 100),
+      make_job(1, 1.0, 4, 4, {{0, 15}}, 100),
+      make_job(2, 2.0, 1, 2, {{0, 1}}, 1),
+  };
+  const RunMetrics m = sim.run(jobs);
+  EXPECT_EQ(m.completed, 3u);
+  // Tiny job waits for both big jobs: its turnaround dominates its service.
+  EXPECT_GT(m.turnaround.max(), 2 * m.service.max());
+}
+
+TEST(SystemSim, SsdLetsShortJobOvertake) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  cfg.target_completions = 3;
+
+  const std::vector<Job> jobs{
+      make_job(0, 0.0, 4, 4, {{0, 15}}, 100),
+      make_job(1, 1.0, 4, 4, {{0, 15}}, 100),
+      make_job(2, 2.0, 1, 2, {{0, 1}}, 1),
+  };
+
+  PagingAllocator alloc_fcfs(cfg.geom, 0);
+  OrderedScheduler fcfs(Policy::kFcfs);
+  const RunMetrics m_fcfs = SystemSim(cfg, alloc_fcfs, fcfs).run(jobs);
+
+  PagingAllocator alloc_ssd(cfg.geom, 0);
+  OrderedScheduler ssd(Policy::kSsd);
+  const RunMetrics m_ssd = SystemSim(cfg, alloc_ssd, ssd).run(jobs);
+
+  // SSD improves mean turnaround by letting the short job jump the queue.
+  EXPECT_LT(m_ssd.turnaround.mean(), m_fcfs.turnaround.mean());
+}
+
+TEST(SystemSim, UtilizationWithinBounds) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  cfg.target_completions = 2;
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  const std::vector<Job> jobs{
+      make_job(0, 0.0, 2, 2, {{0, 3}}),
+      make_job(1, 0.0, 2, 2, {{0, 3}}),
+  };
+  const RunMetrics m = sim.run(jobs);
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0);
+  EXPECT_GT(m.makespan, 0.0);
+}
+
+TEST(SystemSim, TargetCompletionsStopsEarly) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  cfg.target_completions = 2;
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 10; ++i)
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i), i * 5.0, 2, 1, {{0, 1}}));
+  const RunMetrics m = sim.run(jobs);
+  EXPECT_EQ(m.completed, 2u);
+}
+
+TEST(SystemSim, WarmupExcludedFromStatistics) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  cfg.target_completions = 3;
+  cfg.warmup_completions = 2;
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i)
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i), i * 100.0, 2, 1, {{0, 1}}));
+  const RunMetrics m = sim.run(jobs);
+  EXPECT_EQ(m.completed, 3u);             // measured completions
+  EXPECT_EQ(m.turnaround.count(), 3u);    // warmup jobs not counted
+}
+
+TEST(SystemSim, DeterministicAcrossRuns) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(8, 8);
+  cfg.target_completions = 50;
+  std::vector<Job> jobs;
+  procsim::des::Xoshiro256SS rng(5);
+  procsim::workload::StochasticParams params;
+  params.load = 0.05;
+  jobs = procsim::workload::generate_stochastic(params, cfg.geom, 50, rng);
+
+  GablAllocator a1(cfg.geom);
+  OrderedScheduler s1(Policy::kSsd);
+  const RunMetrics m1 = SystemSim(cfg, a1, s1).run(jobs);
+
+  GablAllocator a2(cfg.geom);
+  OrderedScheduler s2(Policy::kSsd);
+  const RunMetrics m2 = SystemSim(cfg, a2, s2).run(jobs);
+
+  EXPECT_DOUBLE_EQ(m1.turnaround.mean(), m2.turnaround.mean());
+  EXPECT_DOUBLE_EQ(m1.packet_latency.mean(), m2.packet_latency.mean());
+  EXPECT_DOUBLE_EQ(m1.makespan, m2.makespan);
+  EXPECT_EQ(m1.events, m2.events);
+}
+
+TEST(SystemSim, RunIsRepeatableOnSameInstance) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  cfg.target_completions = 2;
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  const std::vector<Job> jobs{
+      make_job(0, 0.0, 2, 2, {{0, 3}}),
+      make_job(1, 5.0, 2, 2, {{1, 2}}),
+  };
+  const RunMetrics m1 = sim.run(jobs);
+  const RunMetrics m2 = sim.run(jobs);  // internal reset between runs
+  EXPECT_DOUBLE_EQ(m1.turnaround.mean(), m2.turnaround.mean());
+}
+
+TEST(SystemSim, RejectsUnsortedJobs) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  const std::vector<Job> jobs{
+      make_job(0, 10.0, 1, 1, {}),
+      make_job(1, 5.0, 1, 1, {}),
+  };
+  EXPECT_THROW((void)sim.run(jobs), std::invalid_argument);
+}
+
+TEST(SystemSim, RejectsGeometryMismatch) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  GablAllocator alloc(Geometry(8, 8));
+  OrderedScheduler sched(Policy::kFcfs);
+  EXPECT_THROW(SystemSim(cfg, alloc, sched), std::invalid_argument);
+}
+
+TEST(SystemSim, AllProcessorsReleasedAtEnd) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(8, 8);
+  cfg.target_completions = 0;  // run all jobs to completion
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  procsim::des::Xoshiro256SS rng(3);
+  procsim::workload::StochasticParams params;
+  params.load = 0.1;
+  const auto jobs = procsim::workload::generate_stochastic(params, cfg.geom, 100, rng);
+  const RunMetrics m = sim.run(jobs);
+  EXPECT_EQ(m.completed, 100u);
+  EXPECT_EQ(alloc.free_processors(), 64);  // everything returned
+}
+
+}  // namespace
