@@ -6,14 +6,26 @@
 // traffic; the binaries differ only in workload, metric and load axis.
 //
 // Common flags (parse_run_options): --fast (1 rep, 200 jobs), --jobs=N,
-// --reps=N, --seed=N.
+// --reps=N, --seed=N, --threads=N (farm the independent figure cells across
+// N worker threads, 0 = all hardware threads; the CSV is byte-identical to
+// --threads=1 for the same seed).
 
+#include <iostream>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/figure_runner.hpp"
 
 namespace procsim::bench {
+
+/// Shared main() body of the per-figure binaries: parse the common flags,
+/// sweep the figure, print the CSV (with 95 % CI columns) to stdout.
+inline int figure_main(int argc, char** argv, core::FigureSpec spec) {
+  const core::RunOptions opts = core::parse_run_options(argc, argv);
+  core::run_figure(spec, opts, std::cout, /*with_ci=*/true);
+  return 0;
+}
 
 inline core::ExperimentConfig base_config() {
   core::ExperimentConfig cfg;

@@ -1,13 +1,10 @@
 // fig05: Service time vs system load, all-to-all, real workload, 16x22 mesh
 // Regenerates the series of the paper's Figure 05. Usage: see bench_common.hpp.
 
-#include <iostream>
-
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace procsim;
-  const core::RunOptions opts = core::parse_run_options(argc, argv);
   core::FigureSpec spec;
   spec.id = "fig05";
   spec.title = "Service time vs system load, all-to-all, real workload, 16x22 mesh";
@@ -15,6 +12,5 @@ int main(int argc, char** argv) {
   spec.loads = bench::loads_real();
   spec.series = core::paper_series();
   spec.base = bench::trace_base();
-  core::run_figure(spec, opts, std::cout, /*with_ci=*/true);
-  return 0;
+  return bench::figure_main(argc, argv, std::move(spec));
 }

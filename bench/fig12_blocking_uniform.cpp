@@ -1,13 +1,10 @@
 // fig12: Packet blocking time vs system load, all-to-all, stochastic uniform side lengths, 16x22 mesh
 // Regenerates the series of the paper's Figure 12. Usage: see bench_common.hpp.
 
-#include <iostream>
-
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace procsim;
-  const core::RunOptions opts = core::parse_run_options(argc, argv);
   core::FigureSpec spec;
   spec.id = "fig12";
   spec.title = "Packet blocking time vs system load, all-to-all, stochastic uniform side lengths, 16x22 mesh";
@@ -15,6 +12,5 @@ int main(int argc, char** argv) {
   spec.loads = bench::loads_uniform();
   spec.series = core::paper_series();
   spec.base = bench::stochastic_base(workload::SideDistribution::kUniform);
-  core::run_figure(spec, opts, std::cout, /*with_ci=*/true);
-  return 0;
+  return bench::figure_main(argc, argv, std::move(spec));
 }

@@ -7,6 +7,7 @@
 #include "alloc/mbs.hpp"
 #include "alloc/paging.hpp"
 #include "alloc/random_alloc.hpp"
+#include "stats/parallel_replication.hpp"
 #include "workload/swf.hpp"
 
 namespace procsim::core {
@@ -101,19 +102,19 @@ std::map<std::string, double> to_observations(const RunMetrics& m) {
 }
 
 AggregateResult run_replicated(const ExperimentConfig& cfg,
-                               const stats::ReplicationPolicy& policy) {
-  stats::ReplicationController controller(policy);
-  std::uint64_t rep = 0;
-  while (!controller.done()) {
-    ExperimentConfig rep_cfg = cfg;
-    rep_cfg.seed = cfg.seed + 0x9E3779B9ULL * (rep + 1);
-    const RunMetrics m = run_once(rep_cfg);
-    // Unordered-map iteration order is irrelevant here: each metric is keyed.
-    std::unordered_map<std::string, double> obs;
-    for (const auto& [k, v] : to_observations(m)) obs.emplace(k, v);
-    controller.add_replication(obs);
-    ++rep;
-  }
+                               const stats::ReplicationPolicy& policy,
+                               util::ThreadPool* pool) {
+  const stats::ParallelReplicationRunner runner(policy, pool);
+  const stats::ReplicationController controller =
+      runner.run([&cfg](std::uint64_t rep) {
+        ExperimentConfig rep_cfg = cfg;
+        rep_cfg.seed = des::substream_seed(cfg.seed, rep);
+        const RunMetrics m = run_once(rep_cfg);
+        // Unordered-map iteration order is irrelevant here: each metric is keyed.
+        std::unordered_map<std::string, double> obs;
+        for (const auto& [k, v] : to_observations(m)) obs.emplace(k, v);
+        return obs;
+      });
   AggregateResult out;
   out.replications = controller.replications();
   for (const std::string& name : controller.metric_names())

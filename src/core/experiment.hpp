@@ -11,6 +11,7 @@
 #include "mesh/page_table.hpp"
 #include "sched/ordered_scheduler.hpp"
 #include "stats/replication.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/paragon_model.hpp"
 #include "workload/stochastic.hpp"
 #include "workload/trace_replay.hpp"
@@ -75,14 +76,18 @@ struct ExperimentConfig {
 /// blocking, queue_length.
 [[nodiscard]] std::map<std::string, double> to_observations(const RunMetrics& m);
 
-/// Replicated experiment: reruns with derived seeds until the policy's
-/// 95 % / 5 % precision target (paper §5) is met or the cap is reached.
+/// Replicated experiment: reruns with per-replication RNG substream seeds
+/// (des::substream_seed) until the policy's 95 % / 5 % precision target
+/// (paper §5) is met or the cap is reached. With a pool of more than one
+/// worker, replications are farmed across its threads; the result is
+/// bit-identical to the serial (null pool) path for any thread count.
 struct AggregateResult {
   std::map<std::string, stats::Interval> metrics;
   std::uint64_t replications{0};
 };
 
 [[nodiscard]] AggregateResult run_replicated(const ExperimentConfig& cfg,
-                                             const stats::ReplicationPolicy& policy);
+                                             const stats::ReplicationPolicy& policy,
+                                             util::ThreadPool* pool = nullptr);
 
 }  // namespace procsim::core

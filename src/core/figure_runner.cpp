@@ -1,9 +1,15 @@
 #include "core/figure_runner.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <future>
 #include <iostream>
 #include <ostream>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace procsim::core {
 
@@ -33,6 +39,8 @@ RunOptions parse_run_options(int argc, char** argv) {
       if (opts.min_reps > opts.max_reps) opts.min_reps = opts.max_reps;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       opts.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      opts.threads = static_cast<std::size_t>(std::strtoull(arg + 10, nullptr, 10));
     } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
       // Tolerate google-benchmark style flags so `for b in bench/*` harness
       // loops can pass uniform arguments.
@@ -44,6 +52,10 @@ RunOptions parse_run_options(int argc, char** argv) {
     opts.min_reps = 1;
     opts.max_reps = 1;
   }
+  // Zero replications would leave every metric empty and abort the figure
+  // with a confusing "unknown metric" error; one replication is the floor.
+  if (opts.max_reps == 0) opts.max_reps = 1;
+  if (opts.min_reps == 0) opts.min_reps = 1;
   return opts;
 }
 
@@ -74,49 +86,96 @@ void run_figure(const FigureSpec& spec, const RunOptions& opts, std::ostream& ou
     }
   out << "\n";
 
-  for (const double load : spec.loads) {
-    out << load;
-    std::vector<stats::Interval> cells;
-    for (const Series& s : spec.series) {
-      ExperimentConfig cfg = spec.base;
-      cfg.allocator = s.allocator;
-      cfg.scheduler = s.scheduler;
-      cfg.seed = opts.seed;
-      if (cfg.workload.kind == WorkloadKind::kStochastic) {
-        cfg.workload.stochastic.load = load;
-        if (opts.jobs) {
-          cfg.workload.job_count = opts.jobs;
-          cfg.sys.target_completions = opts.jobs;
-        }
-        if (opts.fast) {
-          cfg.workload.job_count = std::min<std::size_t>(cfg.workload.job_count, 200);
-          cfg.sys.target_completions =
-              std::min<std::size_t>(cfg.sys.target_completions, 200);
-        }
-      } else {
-        cfg.workload.load = load;
-        if (opts.jobs) {
-          cfg.workload.replay.prefix = opts.jobs;
-          cfg.sys.target_completions = opts.jobs;
-        }
-        if (opts.fast) {
-          cfg.workload.replay.prefix = std::min<std::size_t>(
-              cfg.workload.replay.prefix ? cfg.workload.replay.prefix : 10658, 200);
-          cfg.sys.target_completions =
-              std::min<std::size_t>(cfg.sys.target_completions, 200);
+  // Every (load, series) cell is an independent replicated experiment whose
+  // randomness is a pure function of opts.seed, so cells can run in any order
+  // — and concurrently — without changing a single output byte. Compute them
+  // all into an index-addressed grid, then print rows in figure order.
+  const std::size_t n_series = spec.series.size();
+  const std::size_t n_cells = spec.loads.size() * n_series;
+  std::vector<stats::Interval> grid(n_cells);
+
+  const auto run_cell = [&](std::size_t idx) {
+    const double load = spec.loads[idx / n_series];
+    const Series& s = spec.series[idx % n_series];
+    ExperimentConfig cfg = spec.base;
+    cfg.allocator = s.allocator;
+    cfg.scheduler = s.scheduler;
+    cfg.seed = opts.seed;
+    if (cfg.workload.kind == WorkloadKind::kStochastic) {
+      cfg.workload.stochastic.load = load;
+      if (opts.jobs) {
+        cfg.workload.job_count = opts.jobs;
+        cfg.sys.target_completions = opts.jobs;
+      }
+      if (opts.fast) {
+        cfg.workload.job_count = std::min<std::size_t>(cfg.workload.job_count, 200);
+        cfg.sys.target_completions =
+            std::min<std::size_t>(cfg.sys.target_completions, 200);
+      }
+    } else {
+      cfg.workload.load = load;
+      if (opts.jobs) {
+        cfg.workload.replay.prefix = opts.jobs;
+        cfg.sys.target_completions = opts.jobs;
+      }
+      if (opts.fast) {
+        cfg.workload.replay.prefix = std::min<std::size_t>(
+            cfg.workload.replay.prefix ? cfg.workload.replay.prefix : 10658, 200);
+        cfg.sys.target_completions =
+            std::min<std::size_t>(cfg.sys.target_completions, 200);
+      }
+    }
+    // Cells parallelise, replications within a cell stay serial (null pool):
+    // nesting both levels on one fixed pool could park every worker on a
+    // future only another queued task can satisfy.
+    const AggregateResult res = run_replicated(cfg, policy);
+    const auto it = res.metrics.find(spec.metric);
+    if (it == res.metrics.end())
+      throw std::logic_error("run_figure: unknown metric " + spec.metric);
+    grid[idx] = it->second;
+  };
+
+  const auto print_row = [&](std::size_t li) {
+    out << spec.loads[li];
+    for (std::size_t si = 0; si < n_series; ++si)
+      out << "," << grid[li * n_series + si].mean;
+    if (with_ci)
+      for (std::size_t si = 0; si < n_series; ++si)
+        out << "," << grid[li * n_series + si].half_width;
+    out << "\n";
+    out.flush();  // stream each row: long sweeps show progress / survive ^C
+  };
+
+  const std::size_t workers =
+      std::min(util::resolve_threads(opts.threads), n_cells);
+  if (workers > 1 && n_cells > 1) {
+    util::ThreadPool pool(workers);
+    // Submit every cell up front so workers are never idle at row
+    // boundaries, but print each row as soon as *its* cells are done —
+    // streaming output in figure order, still byte-identical to serial.
+    std::vector<std::future<void>> done;
+    done.reserve(n_cells);
+    for (std::size_t idx = 0; idx < n_cells; ++idx)
+      done.push_back(pool.submit([&run_cell, idx] { run_cell(idx); }));
+    // On error, keep draining every future: workers must not outlive the
+    // locals their queued tasks reference.
+    std::exception_ptr first_error;
+    for (std::size_t li = 0; li < spec.loads.size(); ++li) {
+      for (std::size_t si = 0; si < n_series; ++si) {
+        try {
+          done[li * n_series + si].get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
         }
       }
-      const AggregateResult res = run_replicated(cfg, policy);
-      const auto it = res.metrics.find(spec.metric);
-      if (it == res.metrics.end())
-        throw std::logic_error("run_figure: unknown metric " + spec.metric);
-      cells.push_back(it->second);
-      out << "," << it->second.mean;
+      if (!first_error) print_row(li);
     }
-    if (with_ci)
-      for (const stats::Interval& c : cells) out << "," << c.half_width;
-    out << "\n";
-    out.flush();
+    if (first_error) std::rethrow_exception(first_error);
+  } else {
+    for (std::size_t li = 0; li < spec.loads.size(); ++li) {
+      for (std::size_t si = 0; si < n_series; ++si) run_cell(li * n_series + si);
+      print_row(li);
+    }
   }
 }
 

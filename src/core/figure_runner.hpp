@@ -31,12 +31,13 @@ struct FigureSpec {
 };
 
 /// Effort knobs shared by all figure benches (see bench/README note in each
-/// binary: --fast, --jobs=N, --reps=N, --seed=N).
+/// binary: --fast, --jobs=N, --reps=N, --seed=N, --threads=N).
 struct RunOptions {
   std::size_t jobs{0};          ///< 0 = keep spec default
   std::uint64_t min_reps{2};
   std::uint64_t max_reps{3};
   std::uint64_t seed{42};
+  std::size_t threads{1};       ///< figure-cell workers; 0 = all hardware threads
   bool fast{false};             ///< shrink jobs/reps for smoke runs
 };
 
@@ -46,6 +47,12 @@ struct RunOptions {
 /// series (the exact series the paper's figure plots), means of the chosen
 /// metric. Also prints per-cell 95 % half-widths as trailing columns when
 /// `with_ci` is set.
+///
+/// With `opts.threads > 1` (or 0 = all hardware threads) the independent
+/// (load, series) cells are farmed across a thread pool. Every cell starts
+/// from the same base `opts.seed` (cells differ by configuration — load and
+/// strategy pair — not by seed) and derives its replication seeds from it
+/// deterministically, so the CSV is byte-identical to the single-threaded run.
 void run_figure(const FigureSpec& spec, const RunOptions& opts, std::ostream& out,
                 bool with_ci = false);
 

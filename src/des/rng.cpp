@@ -21,4 +21,10 @@ void Xoshiro256SS::jump() noexcept {
   state_ = {s0, s1, s2, s3};
 }
 
+std::uint64_t substream_seed(std::uint64_t base, std::uint64_t stream) noexcept {
+  std::uint64_t h = SplitMix64(base).next();
+  h ^= 0x9E3779B97F4A7C15ULL * (stream + 1);
+  return SplitMix64(h).next();
+}
+
 }  // namespace procsim::des

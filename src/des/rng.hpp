@@ -78,4 +78,12 @@ class Xoshiro256SS {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Derives the seed of substream `stream` from a base seed. Replication k of
+/// an experiment seeds its engines from substream_seed(seed, k), so any
+/// replication can be (re)computed independently of the others — the property
+/// the parallel replication runner relies on. The double SplitMix64 pass
+/// decorrelates both nearby base seeds and nearby stream indices.
+[[nodiscard]] std::uint64_t substream_seed(std::uint64_t base,
+                                           std::uint64_t stream) noexcept;
+
 }  // namespace procsim::des

@@ -17,12 +17,18 @@ namespace {
   return code;
 }
 
+/// Validates before shifting: the check must precede the `1 << size_index`
+/// in the member-initialiser list, where a negative exponent would be UB.
+[[nodiscard]] std::int32_t checked_page_side(std::int32_t size_index) {
+  if (size_index < 0 || size_index > 15)
+    throw std::invalid_argument("PageTable: size_index out of range");
+  return 1 << size_index;
+}
+
 }  // namespace
 
 PageTable::PageTable(Geometry geom, std::int32_t size_index, PageIndexing indexing)
-    : geom_(geom), size_index_(size_index), side_(1 << size_index), indexing_(indexing) {
-  if (size_index < 0 || size_index > 15)
-    throw std::invalid_argument("PageTable: size_index out of range");
+    : geom_(geom), size_index_(size_index), side_(checked_page_side(size_index)), indexing_(indexing) {
   const std::int32_t cols = (geom.width() + side_ - 1) / side_;
   const std::int32_t rows = (geom.length() + side_ - 1) / side_;
 

@@ -1,0 +1,35 @@
+#include "stats/parallel_replication.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace procsim::stats {
+
+ReplicationController ParallelReplicationRunner::run(const ReplicationFn& fn) const {
+  ReplicationController controller(policy_);
+  const std::size_t workers = pool_ ? pool_->size() : 1;
+  // done() never fires below min_replications, even above max_replications —
+  // so the serial loop's true cap is the larger of the two.
+  const std::uint64_t cap =
+      std::max(policy_.min_replications, policy_.max_replications);
+  std::uint64_t next = 0;  // index of the first replication not yet computed
+  while (!controller.done() && next < cap) {
+    // First wave: the minimum the policy will demand anyway (free of waste).
+    // Later waves: one task per worker, the speculation granularity.
+    std::uint64_t want = controller.replications() < policy_.min_replications
+                             ? policy_.min_replications - controller.replications()
+                             : static_cast<std::uint64_t>(std::max<std::size_t>(workers, 1));
+    want = std::min(want, cap - next);
+    std::vector<std::unordered_map<std::string, double>> wave(want);
+    util::parallel_for(pool_, static_cast<std::size_t>(want),
+                       [&](std::size_t i) { wave[i] = fn(next + i); });
+    for (auto& observations : wave) {
+      if (controller.done()) break;  // speculative extras: the serial loop stops here
+      controller.add_replication(observations);
+    }
+    next += want;
+  }
+  return controller;
+}
+
+}  // namespace procsim::stats

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "stats/replication.hpp"
+#include "util/thread_pool.hpp"
+
+namespace procsim::stats {
+
+/// Farms independent replications across a thread pool while reproducing the
+/// serial stopping rule bit for bit.
+///
+/// The sequential-stopping loop ("run one more replication until the 95 % / 5 %
+/// target holds") is inherently ordered: whether replication k runs depends on
+/// the results of replications 0..k-1. We parallelise it by *speculation*:
+/// waves of replications are computed concurrently, then fed to the
+/// ReplicationController strictly in replication order; results the serial
+/// loop would never have computed are discarded. Because each replication's
+/// RNG substream is a pure function of its index, the controller observes the
+/// exact sequence the serial loop observes and stops at the same count — the
+/// aggregate is bit-identical for any thread count.
+class ParallelReplicationRunner {
+ public:
+  /// One replication: index -> scalar observations per metric. Must be pure
+  /// in the index (derive all randomness from it) and thread-safe.
+  using ReplicationFn =
+      std::function<std::unordered_map<std::string, double>(std::uint64_t)>;
+
+  /// `pool` may be null (or single-threaded); replications then run inline in
+  /// index order with zero speculation — the serial path.
+  ParallelReplicationRunner(ReplicationPolicy policy, util::ThreadPool* pool)
+      : policy_(policy), pool_(pool) {}
+
+  /// Runs replications of `fn` until the policy's precision target is met and
+  /// returns the controller holding the aggregated intervals.
+  [[nodiscard]] ReplicationController run(const ReplicationFn& fn) const;
+
+ private:
+  ReplicationPolicy policy_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace procsim::stats

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace procsim::util {
+
+/// Fixed-size pool of worker threads draining a shared FIFO task queue.
+///
+/// The pool is deliberately simple: simulation work units (one replication,
+/// one figure cell) run for milliseconds to seconds, so queue contention is
+/// negligible and FIFO order keeps scheduling easy to reason about. All
+/// determinism guarantees in procsim come from the *callers*: work items own
+/// their RNG substream and write to pre-sized slots, never to shared state.
+class ThreadPool {
+ public:
+  /// Spawns `max(threads, 1)` workers, so submit() can never deadlock on an
+  /// empty pool. Use resolve_threads() to map a `--threads=N` value first.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_{false};
+};
+
+/// Maps a user-facing `--threads=N` value to a worker count: 0 means "use
+/// all hardware threads", anything else is taken literally.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested) noexcept;
+
+/// Runs `fn(0) ... fn(n-1)`, blocking until all calls return. With a null or
+/// single-thread pool the calls happen inline, in index order, on the calling
+/// thread — the exact serial semantics. With a larger pool the calls are
+/// distributed across workers; `fn` must therefore only touch per-index state.
+/// The first exception thrown by any call is rethrown after the join.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace procsim::util

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/figure_runner.hpp"
+#include "des/rng.hpp"
+#include "stats/parallel_replication.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using procsim::core::AggregateResult;
+using procsim::core::ExperimentConfig;
+using procsim::core::FigureSpec;
+using procsim::core::paper_series;
+using procsim::core::run_figure;
+using procsim::core::run_replicated;
+using procsim::core::RunOptions;
+using procsim::core::WorkloadKind;
+using procsim::stats::ParallelReplicationRunner;
+using procsim::stats::ReplicationController;
+using procsim::stats::ReplicationPolicy;
+using procsim::util::parallel_for;
+using procsim::util::resolve_threads;
+using procsim::util::ThreadPool;
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ZeroRequestedStillRunsTasks) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 100;  // far more tasks than workers
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(&pool, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForInlineWithoutPool) {
+  std::vector<int> order;
+  parallel_for(nullptr, 5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(&pool, 8,
+                            [](std::size_t i) {
+                              if (i == 5) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_GE(resolve_threads(0), 1u);  // 0 = all hardware threads
+}
+
+TEST(SubstreamSeed, DistinctStreamsAndBases) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ULL, 1ULL, 42ULL})
+    for (std::uint64_t stream = 0; stream < 32; ++stream)
+      seen.insert(procsim::des::substream_seed(base, stream));
+  EXPECT_EQ(seen.size(), 3u * 32u);  // no collisions across nearby inputs
+  EXPECT_EQ(procsim::des::substream_seed(7, 3), procsim::des::substream_seed(7, 3));
+}
+
+// A cheap deterministic "replication": observations are pure functions of the
+// replication index, mimicking a simulation seeded by substream_seed(rep).
+std::unordered_map<std::string, double> fake_rep(std::uint64_t rep) {
+  const auto x = static_cast<double>(procsim::des::substream_seed(99, rep) >> 11);
+  return {{"metric_a", 100.0 + x * 0x1.0p-53}, {"metric_b", 5.0 + rep * 0.001}};
+}
+
+ReplicationController run_with_threads(std::size_t threads, ReplicationPolicy policy) {
+  if (threads <= 1) {
+    const ParallelReplicationRunner runner(policy, nullptr);
+    return runner.run(fake_rep);
+  }
+  ThreadPool pool(threads);
+  const ParallelReplicationRunner runner(policy, &pool);
+  return runner.run(fake_rep);
+}
+
+TEST(ParallelReplicationRunner, BitIdenticalAcrossThreadCounts) {
+  ReplicationPolicy policy;
+  policy.min_replications = 3;
+  policy.max_replications = 12;
+  const ReplicationController serial = run_with_threads(1, policy);
+  for (const std::size_t threads : {2, 4, 7}) {
+    const ReplicationController par = run_with_threads(threads, policy);
+    EXPECT_EQ(par.replications(), serial.replications()) << threads << " threads";
+    for (const std::string& m : serial.metric_names()) {
+      // Bit-identical, not approximately equal: the parallel runner must feed
+      // the controller the exact serial prefix of replications.
+      EXPECT_EQ(par.interval(m).mean, serial.interval(m).mean) << m;
+      EXPECT_EQ(par.interval(m).half_width, serial.interval(m).half_width) << m;
+      EXPECT_EQ(par.interval(m).samples, serial.interval(m).samples) << m;
+    }
+  }
+}
+
+TEST(ParallelReplicationRunner, MinAboveMaxStillRunsMinLikeSerialLoop) {
+  // done() never fires below min_replications even past max_replications, so
+  // the serial loop runs min reps for this (degenerate) policy; the parallel
+  // runner must match rather than stop at max.
+  ReplicationPolicy policy;
+  policy.min_replications = 5;
+  policy.max_replications = 3;
+  EXPECT_EQ(run_with_threads(1, policy).replications(), 5u);
+  EXPECT_EQ(run_with_threads(4, policy).replications(), 5u);
+}
+
+TEST(ParallelReplicationRunner, HonorsReplicationCap) {
+  ReplicationPolicy policy;
+  policy.min_replications = 2;
+  policy.max_replications = 4;
+  policy.max_relative_error = 0.0;  // unattainable: always runs to the cap
+  ThreadPool pool(8);               // more speculation width than the cap allows
+  const ParallelReplicationRunner runner(policy, &pool);
+  const ReplicationController c = runner.run(fake_rep);
+  EXPECT_EQ(c.replications(), 4u);
+}
+
+TEST(ParallelReplicationRunner, MatchesRunReplicated) {
+  ExperimentConfig cfg;
+  cfg.sys.target_completions = 30;
+  cfg.workload.job_count = 30;
+  cfg.workload.stochastic.load = 0.02;
+  cfg.seed = 5;
+  ReplicationPolicy policy;
+  policy.min_replications = 2;
+  policy.max_replications = 3;
+  const AggregateResult serial = run_replicated(cfg, policy, nullptr);
+  ThreadPool pool(4);
+  const AggregateResult par = run_replicated(cfg, policy, &pool);
+  EXPECT_EQ(par.replications, serial.replications);
+  ASSERT_EQ(par.metrics.size(), serial.metrics.size());
+  for (const auto& [name, iv] : serial.metrics) {
+    ASSERT_TRUE(par.metrics.contains(name)) << name;
+    EXPECT_EQ(par.metrics.at(name).mean, iv.mean) << name;
+    EXPECT_EQ(par.metrics.at(name).half_width, iv.half_width) << name;
+  }
+}
+
+FigureSpec small_figure() {
+  FigureSpec spec;
+  spec.id = "figpar";
+  spec.title = "parallel determinism";
+  spec.metric = "turnaround";
+  spec.loads = {0.005, 0.01, 0.02};
+  spec.series = paper_series();
+  spec.base.sys.target_completions = 25;
+  spec.base.workload.kind = WorkloadKind::kStochastic;
+  spec.base.workload.job_count = 25;
+  return spec;
+}
+
+std::string figure_csv(const FigureSpec& spec, std::size_t threads, bool with_ci) {
+  RunOptions opts;
+  opts.min_reps = opts.max_reps = 2;
+  opts.seed = 123;
+  opts.threads = threads;
+  std::ostringstream out;
+  run_figure(spec, opts, out, with_ci);
+  return out.str();
+}
+
+TEST(FigureRunner, ThreadCountDoesNotChangeCsvBytes) {
+  const FigureSpec spec = small_figure();
+  const std::string serial = figure_csv(spec, 1, true);
+  EXPECT_EQ(figure_csv(spec, 2, true), serial);
+  EXPECT_EQ(figure_csv(spec, 4, true), serial);
+}
+
+TEST(FigureRunner, StressMoreCellsThanThreads) {
+  // 8 loads x 6 series = 48 cells on 3 workers: every worker cycles through
+  // many queue pops, and the output must still match the serial bytes.
+  FigureSpec spec = small_figure();
+  spec.loads = {0.002, 0.004, 0.006, 0.008, 0.01, 0.015, 0.02, 0.03};
+  spec.base.sys.target_completions = 15;
+  spec.base.workload.job_count = 15;
+  const std::string serial = figure_csv(spec, 1, false);
+  const std::string par = figure_csv(spec, 3, false);
+  EXPECT_EQ(par, serial);
+  // 2 comment lines + header + 8 data rows.
+  int rows = 0;
+  for (const char c : par)
+    if (c == '\n') ++rows;
+  EXPECT_EQ(rows, 11);
+}
+
+TEST(FigureRunner, ParseThreadsOption) {
+  const char* argv[] = {"bench", "--threads=4"};
+  const RunOptions opts = procsim::core::parse_run_options(2, const_cast<char**>(argv));
+  EXPECT_EQ(opts.threads, 4u);
+  const RunOptions defaults = procsim::core::parse_run_options(0, nullptr);
+  EXPECT_EQ(defaults.threads, 1u);
+}
+
+}  // namespace

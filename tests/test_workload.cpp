@@ -49,7 +49,9 @@ TEST(Shape, MinimalAreaAtLeastP) {
     // Minimality: no rectangle with smaller area fits p.
     for (std::int32_t w = 1; w <= 16; ++w) {
       const std::int32_t l = (p + w - 1) / w;
-      if (l <= 22) EXPECT_LE(a * b, w * l) << "p=" << p;
+      if (l <= 22) {
+        EXPECT_LE(a * b, w * l) << "p=" << p;
+      }
     }
   }
 }
