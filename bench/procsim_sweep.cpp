@@ -1,0 +1,228 @@
+// procsim_sweep: generic sweep driver over the allocator/scheduler
+// registries — any mesh size, any strategy pair, any workload family, any
+// metric — the scenarios the hardcoded figure binaries cannot express.
+//
+//   procsim_sweep [--mesh=16x22[,32x32,...]] [--alloc=GABL,Paging(0),MBS]
+//                 [--sched=FCFS,SSD] [--workload=uniform|exponential|real]
+//                 [--metric=turnaround|service|utilization|latency|blocking|
+//                          hops|queue_length]
+//                 [--loads=0.005,0.01,...]
+//                 [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]
+//
+// With one mesh the CSV has one row per load (the fig binaries' layout).
+// With several meshes it has one row per mesh size at the first load — the
+// large-mesh scaling scenario (16x16 ... 128x128). Output is byte-identical
+// for any --threads value (see run_grid).
+//
+// Allocator and scheduler names are resolved through alloc::make_allocator /
+// sched::make_scheduler, so every registry strategy is reachable; unknown
+// names fail fast listing the known ones.
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alloc/registry.hpp"
+#include "bench_common.hpp"
+#include "sched/registry.hpp"
+
+namespace {
+
+using namespace procsim;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(s);
+  while (std::getline(in, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+std::optional<mesh::Geometry> parse_mesh(const std::string& s) {
+  const auto x = s.find_first_of("xX");
+  if (x == std::string::npos || x == 0 || x + 1 >= s.size()) return std::nullopt;
+  char* end = nullptr;
+  const long w = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + x) return std::nullopt;
+  const long l = std::strtol(s.c_str() + x + 1, &end, 10);
+  if (*end != '\0' || w <= 0 || l <= 0 || w > 4096 || l > 4096) return std::nullopt;
+  return mesh::Geometry(static_cast<std::int32_t>(w), static_cast<std::int32_t>(l));
+}
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "procsim_sweep: " << msg << "\n"
+            << "usage: procsim_sweep [--mesh=WxL[,WxL...]] [--alloc=A[,A...]]\n"
+            << "         [--sched=S[,S...]] [--workload=uniform|exponential|real]\n"
+            << "         [--metric=M] [--loads=x[,x...]]\n"
+            << "         [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]\n";
+  std::exit(2);
+}
+
+bool take_value(const char* arg, const char* key, std::string& out) {
+  const std::size_t n = std::string::traits_type::length(key);
+  if (std::string_view(arg).substr(0, n) != key) return false;
+  out = arg + n;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mesh_arg = "16x22";
+  std::string alloc_arg = "GABL,Paging(0),MBS";
+  std::string sched_arg = "FCFS,SSD";
+  std::string workload = "uniform";
+  std::string metric = "turnaround";
+  std::string loads_arg;
+
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (take_value(argv[i], "--mesh=", value)) {
+      mesh_arg = value;
+    } else if (take_value(argv[i], "--alloc=", value)) {
+      alloc_arg = value;
+    } else if (take_value(argv[i], "--sched=", value)) {
+      sched_arg = value;
+    } else if (take_value(argv[i], "--workload=", value)) {
+      workload = value;
+    } else if (take_value(argv[i], "--metric=", value)) {
+      metric = value;
+    } else if (take_value(argv[i], "--loads=", value)) {
+      loads_arg = value;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  const core::RunOptions opts =
+      core::parse_run_options(static_cast<int>(passthrough.size()), passthrough.data());
+
+  // Workload family template (bench_common) and its default load axis.
+  core::ExperimentConfig base;
+  std::vector<double> loads;
+  if (workload == "uniform") {
+    base = bench::stochastic_base(workload::SideDistribution::kUniform);
+    loads = bench::loads_uniform();
+  } else if (workload == "exponential") {
+    base = bench::stochastic_base(workload::SideDistribution::kExponential);
+    loads = bench::loads_exponential();
+  } else if (workload == "real") {
+    base = bench::trace_base();
+    loads = bench::loads_real();
+  } else {
+    usage_error("unknown workload '" + workload + "'");
+  }
+  if (!loads_arg.empty()) {
+    loads.clear();
+    for (const std::string& s : split_csv(loads_arg)) {
+      char* end = nullptr;
+      const double v = std::strtod(s.c_str(), &end);
+      if (*end != '\0' || v <= 0) usage_error("bad load '" + s + "'");
+      loads.push_back(v);
+    }
+  }
+  if (loads.empty()) usage_error("empty --loads");
+
+  // Fail fast on a metric typo — run_grid would otherwise only notice after
+  // the first cell's full replicated simulation.
+  {
+    const std::vector<std::string> metrics = core::known_metrics();
+    if (std::find(metrics.begin(), metrics.end(), metric) == metrics.end()) {
+      std::string known;
+      for (const std::string& m : metrics) {
+        if (!known.empty()) known += ", ";
+        known += m;
+      }
+      usage_error("unknown metric '" + metric + "' (known: " + known + ")");
+    }
+  }
+
+  // Strategy pairs, resolved through the registries so misspellings fail
+  // fast with the known-name list.
+  struct SweepSeries {
+    core::AllocatorSpec alloc;
+    sched::Policy policy;
+    std::string label;
+  };
+  std::vector<SweepSeries> series;
+  const std::vector<std::string> alloc_names = split_csv(alloc_arg);
+  const std::vector<std::string> sched_names = split_csv(sched_arg);
+  if (alloc_names.empty() || sched_names.empty())
+    usage_error("need at least one allocator and one scheduler");
+  for (const std::string& sn : sched_names) {
+    const auto policy = sched::parse_policy(sn);
+    if (!policy) usage_error("unknown scheduler '" + sn + "'");
+    for (const std::string& an : alloc_names) {
+      const auto spec = core::parse_allocator_spec(an);
+      if (!spec) usage_error("unknown allocator '" + an + "'");
+      core::ExperimentConfig labelled = base;
+      labelled.allocator = *spec;
+      labelled.scheduler = *policy;
+      series.push_back(SweepSeries{*spec, *policy, labelled.series_label()});
+    }
+  }
+
+  std::vector<mesh::Geometry> meshes;
+  std::vector<std::string> mesh_labels;
+  for (const std::string& ms : split_csv(mesh_arg)) {
+    const auto geom = parse_mesh(ms);
+    if (!geom) usage_error("bad mesh '" + ms + "' (expected WxL)");
+    meshes.push_back(*geom);
+    mesh_labels.push_back(std::to_string(geom->width()) + "x" +
+                          std::to_string(geom->length()));
+  }
+  if (meshes.empty()) usage_error("empty --mesh");
+
+  core::GridSpec grid;
+  grid.metric = metric;
+  grid.cols.reserve(series.size());
+  for (const SweepSeries& s : series) grid.cols.push_back(s.label);
+
+  // Both layouts share one cell builder; only what the row axis selects —
+  // the load or the mesh — differs.
+  const bool scaling = meshes.size() > 1;
+  const auto make_cell = [&](const mesh::Geometry& geom, double load,
+                             const SweepSeries& s) {
+    core::ExperimentConfig cfg = base;
+    cfg.sys.geom = geom;
+    cfg.allocator = s.alloc;
+    cfg.scheduler = s.policy;
+    core::set_offered_load(cfg, load);
+    core::apply_effort(cfg, opts);
+    return cfg;
+  };
+
+  std::cout << "# procsim_sweep: workload=" << workload << " metric=" << metric
+            << " st=" << base.sys.net.st << " Plen=" << base.sys.net.packet_len
+            << "\n";
+  if (!scaling) {
+    // Fig-style layout: rows = loads on the one mesh.
+    std::cout << "# mesh=" << mesh_labels[0] << "\n";
+    grid.corner = "load";
+    for (const double load : loads) {
+      std::ostringstream label;
+      label << load;
+      grid.rows.push_back(label.str());
+    }
+    grid.cell = [&](std::size_t row, std::size_t col) {
+      return make_cell(meshes[0], loads[row], series[col]);
+    };
+  } else {
+    // Scaling scenario: rows = mesh sizes at the first load.
+    std::cout << "# load=" << loads[0] << " (mesh scaling)\n";
+    grid.corner = "mesh";
+    grid.rows = mesh_labels;
+    grid.cell = [&](std::size_t row, std::size_t col) {
+      return make_cell(meshes[row], loads[0], series[col]);
+    };
+  }
+
+  core::run_grid(grid, opts, std::cout, /*with_ci=*/true);
+  return 0;
+}

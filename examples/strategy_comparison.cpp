@@ -26,21 +26,21 @@ int main(int argc, char** argv) {
   cfg.workload.stochastic.load = 0.02;
   cfg.seed = opts.seed;
 
-  const core::AllocatorSpec specs[] = {
-      {core::AllocatorKind::kGabl, 0, mesh::PageIndexing::kRowMajor},
-      {core::AllocatorKind::kPaging, 0, mesh::PageIndexing::kRowMajor},
-      {core::AllocatorKind::kMbs, 0, mesh::PageIndexing::kRowMajor},
-      {core::AllocatorKind::kRandom, 0, mesh::PageIndexing::kRowMajor},
-      {core::AllocatorKind::kFirstFit, 0, mesh::PageIndexing::kRowMajor},
-      {core::AllocatorKind::kBestFit, 0, mesh::PageIndexing::kRowMajor},
-  };
+  // Every strategy the registry knows, by name — the same names
+  // `procsim_sweep --alloc=...` accepts.
+  const char* names[] = {"GABL", "Paging(0)", "MBS", "Random", "FirstFit", "BestFit"};
 
   std::printf("stochastic uniform workload, load 0.02, 16x22 mesh, all-to-all\n\n");
   std::printf("%-16s %12s %12s %8s %8s %10s %10s\n", "strategy", "turnaround",
               "service", "util", "hops", "latency", "blocking");
   for (const auto policy : {sched::Policy::kFcfs, sched::Policy::kSsd}) {
-    for (const core::AllocatorSpec& spec : specs) {
-      cfg.allocator = spec;
+    for (const char* name : names) {
+      const auto spec = core::parse_allocator_spec(name);
+      if (!spec) {
+        std::fprintf(stderr, "unknown allocator %s\n", name);
+        return 1;
+      }
+      cfg.allocator = *spec;
       cfg.scheduler = policy;
       const core::RunMetrics m = core::run_once(cfg);
       std::printf("%-16s %12.1f %12.1f %8.3f %8.2f %10.2f %10.2f\n",

@@ -7,6 +7,7 @@
 
 #include "mesh/coord.hpp"
 #include "mesh/mesh_state.hpp"
+#include "mesh/occupancy_index.hpp"
 #include "mesh/submesh.hpp"
 
 namespace procsim::alloc {
@@ -41,9 +42,15 @@ struct Placement {
 ///   * allocate() either returns a Placement of disjoint, previously-free
 ///     blocks (now marked busy) or changes nothing;
 ///   * release() returns exactly the Placement's blocks to the free pool.
+///
+/// The base keeps two views of the occupancy in lock-step: the per-node
+/// MeshState (ground truth for tests and diagnostics) and the bit-parallel
+/// OccupancyIndex that answers the strategies' free-rectangle queries without
+/// any per-event snapshot rebuild. Strategies mutate occupancy only through
+/// occupy()/vacate(), which update both.
 class Allocator {
  public:
-  explicit Allocator(mesh::Geometry geom) : state_(geom) {}
+  explicit Allocator(mesh::Geometry geom) : state_(geom), index_(geom) {}
   virtual ~Allocator() = default;
 
   Allocator(const Allocator&) = delete;
@@ -63,18 +70,39 @@ class Allocator {
   [[nodiscard]] virtual bool is_noncontiguous() const = 0;
 
   /// Restores the pristine empty mesh (between replications).
-  virtual void reset() { state_.clear(); }
+  virtual void reset() {
+    state_.clear();
+    index_.clear();
+  }
 
   [[nodiscard]] const mesh::MeshState& state() const noexcept { return state_; }
+  [[nodiscard]] const mesh::OccupancyIndex& index() const noexcept { return index_; }
   [[nodiscard]] const mesh::Geometry& geometry() const noexcept {
     return state_.geometry();
   }
   [[nodiscard]] std::int32_t free_processors() const noexcept {
-    return state_.free_count();
+    return index_.free_count();
   }
 
  protected:
-  [[nodiscard]] mesh::MeshState& mutable_state() noexcept { return state_; }
+  /// Marks `s` (all currently free) busy in both occupancy views.
+  void occupy(const mesh::SubMesh& s) {
+    state_.allocate(s);
+    index_.allocate(s);
+  }
+  /// Returns `s` (all currently busy) to the free pool in both views.
+  void vacate(const mesh::SubMesh& s) {
+    state_.release(s);
+    index_.release(s);
+  }
+  void occupy(mesh::NodeId n) {
+    state_.allocate(n);
+    index_.allocate(n);
+  }
+  void vacate(mesh::NodeId n) {
+    state_.release(n);
+    index_.release(n);
+  }
 
   /// Fills placement.compute_nodes with the first `p` nodes of the blocks in
   /// block order (row-major inside each block) and sets `allocated`.
@@ -83,6 +111,7 @@ class Allocator {
 
  private:
   mesh::MeshState state_;
+  mesh::OccupancyIndex index_;
 };
 
 /// Validates a request against a geometry (shared by all strategies).

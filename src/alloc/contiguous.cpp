@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "mesh/free_submesh_scan.hpp"
-
 namespace procsim::alloc {
 
 std::optional<Placement> ContiguousAllocator::allocate(const Request& req) {
@@ -11,25 +9,24 @@ std::optional<Placement> ContiguousAllocator::allocate(const Request& req) {
   const std::int32_t a = std::min(req.width, geometry().width());
   const std::int32_t b = std::min(req.length, geometry().length());
 
-  const mesh::FreeSubmeshScan scan(state());
   std::optional<mesh::SubMesh> found;
   if (policy_ == ContiguousPolicy::kFirstFit) {
-    found = scan.first_fit_rotatable(a, b);
+    found = index().first_fit_rotatable(a, b);
   } else {
-    found = scan.best_fit(a, b);
-    if (!found && a != b) found = scan.best_fit(b, a);
+    found = index().best_fit(a, b);
+    if (!found && a != b) found = index().best_fit(b, a);
   }
   if (!found) return std::nullopt;
 
   Placement placement;
   placement.blocks.push_back(*found);
-  mutable_state().allocate(*found);
+  occupy(*found);
   finalize_placement(placement, geometry(), req.processors);
   return placement;
 }
 
 void ContiguousAllocator::release(const Placement& placement) {
-  for (const mesh::SubMesh& blk : placement.blocks) mutable_state().release(blk);
+  for (const mesh::SubMesh& blk : placement.blocks) vacate(blk);
 }
 
 }  // namespace procsim::alloc

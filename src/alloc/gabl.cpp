@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "mesh/free_submesh_scan.hpp"
-
 namespace procsim::alloc {
 namespace {
 
@@ -38,17 +36,14 @@ std::optional<Placement> GablAllocator::allocate(const Request& req) {
 
   Placement placement;
 
-  {
-    // The contiguous fast path tries the request as stated and rotated;
-    // first_fit itself rejects sides that exceed the mesh.
-    const mesh::FreeSubmeshScan scan(state());
-    if (auto whole = scan.first_fit_rotatable(req.width, req.length)) {
-      // Contiguous fast path — but the job still owes `target` processors,
-      // which the rotated/clamped footprint may not cover for oversized
-      // requests; fall through to carving for the remainder in that case.
-      placement.blocks.push_back(*whole);
-      mutable_state().allocate(*whole);
-    }
+  // The contiguous fast path tries the request as stated and rotated;
+  // first_fit itself rejects sides that exceed the mesh.
+  if (auto whole = index().first_fit_rotatable(req.width, req.length)) {
+    // Contiguous fast path — but the job still owes `target` processors,
+    // which the rotated/clamped footprint may not cover for oversized
+    // requests; fall through to carving for the remainder in that case.
+    placement.blocks.push_back(*whole);
+    occupy(*whole);
   }
 
   std::int64_t held = 0;
@@ -58,17 +53,16 @@ std::optional<Placement> GablAllocator::allocate(const Request& req) {
   std::int32_t prev_w = std::min(req.width, geometry().width());
   std::int32_t prev_l = std::min(req.length, geometry().length());
   while (held < target) {
-    const mesh::FreeSubmeshScan scan(state());
-    const auto found = scan.largest_free(prev_w, prev_l);
+    const auto found = index().largest_free(prev_w, prev_l);
     if (!found) {
       // Free count >= target guarantees at least a 1×1 piece exists; the
       // side caps always admit 1×1, so this is unreachable. Roll back.
-      for (const mesh::SubMesh& blk : placement.blocks) mutable_state().release(blk);
+      for (const mesh::SubMesh& blk : placement.blocks) vacate(blk);
       return std::nullopt;
     }
     const mesh::SubMesh piece = trim_to_budget(*found, target - held);
     placement.blocks.push_back(piece);
-    mutable_state().allocate(piece);
+    occupy(piece);
     held += piece.area();
     prev_w = piece.width();
     prev_l = piece.length();
@@ -85,7 +79,7 @@ void GablAllocator::release(const Placement& placement) {
     if (it == busy_list_.end())
       throw std::logic_error("GablAllocator: releasing a block not in the busy list");
     busy_list_.erase(it);
-    mutable_state().release(blk);
+    vacate(blk);
   }
 }
 

@@ -68,14 +68,14 @@ std::optional<Placement> MbsAllocator::allocate(const Request& req) {
     placement.blocks.push_back(tiling_.rect(id));
     placement.tags.push_back(id);
   }
-  for (const mesh::SubMesh& b : placement.blocks) mutable_state().allocate(b);
+  for (const mesh::SubMesh& b : placement.blocks) occupy(b);
   finalize_placement(placement, geometry(), req.processors);
   return placement;
 }
 
 void MbsAllocator::release(const Placement& placement) {
   for (const std::int32_t tag : placement.tags) tiling_.release_block(tag);
-  for (const mesh::SubMesh& b : placement.blocks) mutable_state().release(b);
+  for (const mesh::SubMesh& b : placement.blocks) vacate(b);
 }
 
 void MbsAllocator::reset() {

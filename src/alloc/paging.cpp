@@ -16,6 +16,13 @@ std::optional<Placement> PagingAllocator::allocate(const Request& req) {
   if (free_processors() < req.processors) return std::nullopt;
 
   Placement placement;
+  // Reserve a lower-bound page count (full side² pages); clipped edge pages
+  // can only raise it slightly, so growth reallocations are rare.
+  const std::int32_t full_page = table_.page_side() * table_.page_side();
+  const std::size_t pages_hint =
+      static_cast<std::size_t>((req.processors + full_page - 1) / full_page);
+  placement.tags.reserve(pages_hint);
+  placement.blocks.reserve(pages_hint);
   std::int32_t capacity = 0;
   for (std::size_t i = 0; i < table_.page_count() && capacity < req.processors; ++i) {
     if (page_busy_[i]) continue;
@@ -29,7 +36,7 @@ std::optional<Placement> PagingAllocator::allocate(const Request& req) {
     page_busy_[static_cast<std::size_t>(tag)] = 1;
     --free_page_count_;
   }
-  for (const mesh::SubMesh& b : placement.blocks) mutable_state().allocate(b);
+  for (const mesh::SubMesh& b : placement.blocks) occupy(b);
   finalize_placement(placement, geometry(), req.processors);
   return placement;
 }
@@ -39,7 +46,7 @@ void PagingAllocator::release(const Placement& placement) {
     page_busy_.at(static_cast<std::size_t>(tag)) = 0;
     ++free_page_count_;
   }
-  for (const mesh::SubMesh& b : placement.blocks) mutable_state().release(b);
+  for (const mesh::SubMesh& b : placement.blocks) vacate(b);
 }
 
 std::string PagingAllocator::name() const {

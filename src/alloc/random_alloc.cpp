@@ -8,7 +8,10 @@ std::optional<Placement> RandomAllocator::allocate(const Request& req) {
   validate_request(req, geometry());
   if (free_processors() < req.processors) return std::nullopt;
 
-  std::vector<mesh::NodeId> free = state().free_nodes();
+  // Reused scratch: the free list is rebuilt in place each call instead of
+  // allocating a fresh vector per request (this is the allocator's hot path).
+  state().free_nodes_into(free_scratch_);
+  std::vector<mesh::NodeId>& free = free_scratch_;
   // Partial Fisher-Yates: draw p distinct nodes uniformly.
   Placement placement;
   placement.blocks.reserve(static_cast<std::size_t>(req.processors));
@@ -18,14 +21,14 @@ std::optional<Placement> RandomAllocator::allocate(const Request& req) {
     std::swap(free[static_cast<std::size_t>(i)], free[j]);
     const mesh::Coord c = geometry().coord(free[static_cast<std::size_t>(i)]);
     placement.blocks.push_back(mesh::SubMesh{c.x, c.y, c.x, c.y});
-    mutable_state().allocate(free[static_cast<std::size_t>(i)]);
+    occupy(free[static_cast<std::size_t>(i)]);
   }
   finalize_placement(placement, geometry(), req.processors);
   return placement;
 }
 
 void RandomAllocator::release(const Placement& placement) {
-  for (const mesh::SubMesh& blk : placement.blocks) mutable_state().release(blk);
+  for (const mesh::SubMesh& blk : placement.blocks) vacate(blk);
 }
 
 }  // namespace procsim::alloc

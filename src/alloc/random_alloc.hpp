@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "alloc/allocator.hpp"
 #include "des/rng.hpp"
 
@@ -21,6 +23,7 @@ class RandomAllocator final : public Allocator {
 
  private:
   des::Xoshiro256SS rng_;
+  std::vector<mesh::NodeId> free_scratch_;  ///< reused free-list buffer
 };
 
 }  // namespace procsim::alloc

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "mesh/page_table.hpp"
+
+namespace procsim::alloc {
+
+/// Strategy families the registry can instantiate.
+enum class Family { kGabl, kPaging, kMbs, kFirstFit, kBestFit, kRandom };
+
+/// Result of parsing an allocator name: the family, the canonical spelling
+/// (which Allocator::name() reproduces), and family-specific parameters.
+struct ParsedAllocatorName {
+  Family family{Family::kGabl};
+  std::string canonical;
+  std::int32_t paging_size_index{0};
+};
+
+/// Construction knobs that are not part of the name.
+struct AllocatorParams {
+  /// Experiment seed; Random derives its private RNG stream from it.
+  std::uint64_t seed{1};
+  mesh::PageIndexing paging_indexing{mesh::PageIndexing::kRowMajor};
+};
+
+/// Case-insensitive parse of an allocator name. Accepted spellings: "GABL",
+/// "MBS", "FirstFit", "BestFit", "Random", and "Paging" / "Paging(k)" with
+/// page-size index 0 <= k <= 15 (PageTable's bound, enforced here so a name
+/// that parses can always be constructed). Returns nullopt for anything else.
+[[nodiscard]] std::optional<ParsedAllocatorName> parse_allocator_name(
+    std::string_view name);
+
+/// Canonical names accepted by make_allocator (Paging listed as "Paging(0)").
+[[nodiscard]] std::vector<std::string> known_allocators();
+
+/// Name-based factory for drivers and sweeps; guarantees
+/// make_allocator(name, ...)->name() equals the canonical spelling. Throws
+/// std::invalid_argument (listing the known names) when `name` doesn't parse.
+[[nodiscard]] std::unique_ptr<Allocator> make_allocator(
+    const std::string& name, mesh::Geometry geom, const AllocatorParams& params = {});
+
+}  // namespace procsim::alloc

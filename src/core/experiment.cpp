@@ -2,11 +2,8 @@
 
 #include <stdexcept>
 
-#include "alloc/contiguous.hpp"
-#include "alloc/gabl.hpp"
-#include "alloc/mbs.hpp"
-#include "alloc/paging.hpp"
-#include "alloc/random_alloc.hpp"
+#include "alloc/registry.hpp"
+#include "sched/registry.hpp"
 #include "stats/parallel_replication.hpp"
 #include "workload/swf.hpp"
 
@@ -26,28 +23,30 @@ std::string AllocatorSpec::label() const {
 
 std::unique_ptr<alloc::Allocator> make_allocator(const AllocatorSpec& spec,
                                                  mesh::Geometry geom, std::uint64_t seed) {
-  switch (spec.kind) {
-    case AllocatorKind::kGabl:
-      return std::make_unique<alloc::GablAllocator>(geom);
-    case AllocatorKind::kPaging:
-      return std::make_unique<alloc::PagingAllocator>(geom, spec.paging_size_index,
-                                                      spec.paging_indexing);
-    case AllocatorKind::kMbs:
-      return std::make_unique<alloc::MbsAllocator>(geom);
-    case AllocatorKind::kFirstFit:
-      return std::make_unique<alloc::ContiguousAllocator>(geom,
-                                                          alloc::ContiguousPolicy::kFirstFit);
-    case AllocatorKind::kBestFit:
-      return std::make_unique<alloc::ContiguousAllocator>(geom,
-                                                          alloc::ContiguousPolicy::kBestFit);
-    case AllocatorKind::kRandom:
-      return std::make_unique<alloc::RandomAllocator>(geom, seed ^ 0xA110CA7EULL);
-  }
-  throw std::invalid_argument("make_allocator: bad kind");
+  alloc::AllocatorParams params;
+  params.seed = seed;
+  params.paging_indexing = spec.paging_indexing;
+  return alloc::make_allocator(spec.label(), geom, params);
 }
 
 std::unique_ptr<sched::Scheduler> make_scheduler(sched::Policy policy) {
-  return std::make_unique<sched::OrderedScheduler>(policy);
+  return sched::make_scheduler(policy);
+}
+
+std::optional<AllocatorSpec> parse_allocator_spec(const std::string& name) {
+  const auto parsed = alloc::parse_allocator_name(name);
+  if (!parsed) return std::nullopt;
+  AllocatorSpec spec;
+  spec.paging_size_index = parsed->paging_size_index;
+  switch (parsed->family) {
+    case alloc::Family::kGabl: spec.kind = AllocatorKind::kGabl; break;
+    case alloc::Family::kPaging: spec.kind = AllocatorKind::kPaging; break;
+    case alloc::Family::kMbs: spec.kind = AllocatorKind::kMbs; break;
+    case alloc::Family::kFirstFit: spec.kind = AllocatorKind::kFirstFit; break;
+    case alloc::Family::kBestFit: spec.kind = AllocatorKind::kBestFit; break;
+    case alloc::Family::kRandom: spec.kind = AllocatorKind::kRandom; break;
+  }
+  return spec;
 }
 
 std::string ExperimentConfig::series_label() const {
@@ -80,7 +79,7 @@ std::vector<workload::Job> build_jobs(const WorkloadSpec& spec, const mesh::Geom
 
 RunMetrics run_once(const ExperimentConfig& cfg) {
   const auto allocator = make_allocator(cfg.allocator, cfg.sys.geom, cfg.seed);
-  const auto scheduler = make_scheduler(cfg.scheduler);
+  const auto scheduler = core::make_scheduler(cfg.scheduler);
   const std::vector<workload::Job> jobs =
       build_jobs(cfg.workload, cfg.sys.geom, cfg.sys.net.packet_len, cfg.seed);
   SystemConfig sys = cfg.sys;
@@ -99,6 +98,12 @@ std::map<std::string, double> to_observations(const RunMetrics& m) {
       {"hops", m.packet_hops.mean()},
       {"queue_length", m.mean_queue_length},
   };
+}
+
+std::vector<std::string> known_metrics() {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : to_observations(RunMetrics{})) out.push_back(name);
+  return out;
 }
 
 AggregateResult run_replicated(const ExperimentConfig& cfg,

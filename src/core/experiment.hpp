@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,10 +30,16 @@ struct AllocatorSpec {
   [[nodiscard]] std::string label() const;
 };
 
+/// Delegates to the alloc/sched registries (alloc::make_allocator,
+/// sched::make_scheduler): spec.label() is a registry name by construction.
 [[nodiscard]] std::unique_ptr<alloc::Allocator> make_allocator(const AllocatorSpec& spec,
                                                                mesh::Geometry geom,
                                                                std::uint64_t seed);
 [[nodiscard]] std::unique_ptr<sched::Scheduler> make_scheduler(sched::Policy policy);
+
+/// Registry-name -> AllocatorSpec (case-insensitive, "Paging(k)" parsed);
+/// nullopt for unknown names. Inverse of AllocatorSpec::label().
+[[nodiscard]] std::optional<AllocatorSpec> parse_allocator_spec(const std::string& name);
 
 /// The two workload families of the paper.
 enum class WorkloadKind { kStochastic, kTrace };
@@ -75,6 +82,10 @@ struct ExperimentConfig {
 /// throughout the benches: turnaround, service, utilization, latency,
 /// blocking, queue_length.
 [[nodiscard]] std::map<std::string, double> to_observations(const RunMetrics& m);
+
+/// The metric names to_observations emits — what run_grid/run_figure accept;
+/// drivers validate --metric against this before spending any compute.
+[[nodiscard]] std::vector<std::string> known_metrics();
 
 /// Replicated experiment: reruns with per-replication RNG substream seeds
 /// (des::substream_seed) until the policy's 95 % / 5 % precision target

@@ -7,6 +7,7 @@
 #include <future>
 #include <iostream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/thread_pool.hpp"
@@ -59,100 +60,88 @@ RunOptions parse_run_options(int argc, char** argv) {
   return opts;
 }
 
-void run_figure(const FigureSpec& spec, const RunOptions& opts, std::ostream& out,
-                bool with_ci) {
+void apply_effort(ExperimentConfig& cfg, const RunOptions& opts) {
+  if (cfg.workload.kind == WorkloadKind::kStochastic) {
+    if (opts.jobs) {
+      cfg.workload.job_count = opts.jobs;
+      cfg.sys.target_completions = opts.jobs;
+    }
+    if (opts.fast) {
+      cfg.workload.job_count = std::min<std::size_t>(cfg.workload.job_count, 200);
+      cfg.sys.target_completions =
+          std::min<std::size_t>(cfg.sys.target_completions, 200);
+    }
+  } else {
+    if (opts.jobs) {
+      cfg.workload.replay.prefix = opts.jobs;
+      cfg.sys.target_completions = opts.jobs;
+    }
+    if (opts.fast) {
+      cfg.workload.replay.prefix = std::min<std::size_t>(
+          cfg.workload.replay.prefix ? cfg.workload.replay.prefix : 10658, 200);
+      cfg.sys.target_completions =
+          std::min<std::size_t>(cfg.sys.target_completions, 200);
+    }
+  }
+}
+
+void set_offered_load(ExperimentConfig& cfg, double load) {
+  if (cfg.workload.kind == WorkloadKind::kStochastic)
+    cfg.workload.stochastic.load = load;
+  else
+    cfg.workload.load = load;
+}
+
+void run_grid(const GridSpec& spec, const RunOptions& opts, std::ostream& out,
+              bool with_ci) {
   stats::ReplicationPolicy policy;
   policy.min_replications = opts.min_reps;
   policy.max_replications = opts.max_reps;
 
-  out << "# " << spec.id << ": " << spec.title << "\n";
-  out << "# metric=" << spec.metric << " mesh=" << spec.base.sys.geom.width() << "x"
-      << spec.base.sys.geom.length() << " st=" << spec.base.sys.net.st
-      << " Plen=" << spec.base.sys.net.packet_len << "\n";
-
-  out << "load";
-  for (const Series& s : spec.series) {
-    ExperimentConfig labelled = spec.base;
-    labelled.allocator = s.allocator;
-    labelled.scheduler = s.scheduler;
-    out << "," << labelled.series_label();
-  }
+  out << spec.corner;
+  for (const std::string& col : spec.cols) out << "," << col;
   if (with_ci)
-    for (const Series& s : spec.series) {
-      ExperimentConfig labelled = spec.base;
-      labelled.allocator = s.allocator;
-      labelled.scheduler = s.scheduler;
-      out << ",ci:" << labelled.series_label();
-    }
+    for (const std::string& col : spec.cols) out << ",ci:" << col;
   out << "\n";
 
-  // Every (load, series) cell is an independent replicated experiment whose
-  // randomness is a pure function of opts.seed, so cells can run in any order
-  // — and concurrently — without changing a single output byte. Compute them
-  // all into an index-addressed grid, then print rows in figure order.
-  const std::size_t n_series = spec.series.size();
-  const std::size_t n_cells = spec.loads.size() * n_series;
+  // Every cell is an independent replicated experiment whose randomness is a
+  // pure function of opts.seed, so cells can run in any order — and
+  // concurrently — without changing a single output byte. Compute them all
+  // into an index-addressed grid, then print rows in order.
+  const std::size_t n_cols = spec.cols.size();
+  const std::size_t n_cells = spec.rows.size() * n_cols;
   std::vector<stats::Interval> grid(n_cells);
 
   const auto run_cell = [&](std::size_t idx) {
-    const double load = spec.loads[idx / n_series];
-    const Series& s = spec.series[idx % n_series];
-    ExperimentConfig cfg = spec.base;
-    cfg.allocator = s.allocator;
-    cfg.scheduler = s.scheduler;
+    ExperimentConfig cfg = spec.cell(idx / n_cols, idx % n_cols);
     cfg.seed = opts.seed;
-    if (cfg.workload.kind == WorkloadKind::kStochastic) {
-      cfg.workload.stochastic.load = load;
-      if (opts.jobs) {
-        cfg.workload.job_count = opts.jobs;
-        cfg.sys.target_completions = opts.jobs;
-      }
-      if (opts.fast) {
-        cfg.workload.job_count = std::min<std::size_t>(cfg.workload.job_count, 200);
-        cfg.sys.target_completions =
-            std::min<std::size_t>(cfg.sys.target_completions, 200);
-      }
-    } else {
-      cfg.workload.load = load;
-      if (opts.jobs) {
-        cfg.workload.replay.prefix = opts.jobs;
-        cfg.sys.target_completions = opts.jobs;
-      }
-      if (opts.fast) {
-        cfg.workload.replay.prefix = std::min<std::size_t>(
-            cfg.workload.replay.prefix ? cfg.workload.replay.prefix : 10658, 200);
-        cfg.sys.target_completions =
-            std::min<std::size_t>(cfg.sys.target_completions, 200);
-      }
-    }
-    // Cells parallelise, replications within a cell stay serial (null pool):
-    // nesting both levels on one fixed pool could park every worker on a
-    // future only another queued task can satisfy.
     const AggregateResult res = run_replicated(cfg, policy);
     const auto it = res.metrics.find(spec.metric);
     if (it == res.metrics.end())
-      throw std::logic_error("run_figure: unknown metric " + spec.metric);
+      throw std::logic_error("run_grid: unknown metric " + spec.metric);
     grid[idx] = it->second;
   };
 
-  const auto print_row = [&](std::size_t li) {
-    out << spec.loads[li];
-    for (std::size_t si = 0; si < n_series; ++si)
-      out << "," << grid[li * n_series + si].mean;
+  const auto print_row = [&](std::size_t ri) {
+    out << spec.rows[ri];
+    for (std::size_t ci = 0; ci < n_cols; ++ci)
+      out << "," << grid[ri * n_cols + ci].mean;
     if (with_ci)
-      for (std::size_t si = 0; si < n_series; ++si)
-        out << "," << grid[li * n_series + si].half_width;
+      for (std::size_t ci = 0; ci < n_cols; ++ci)
+        out << "," << grid[ri * n_cols + ci].half_width;
     out << "\n";
     out.flush();  // stream each row: long sweeps show progress / survive ^C
   };
 
-  const std::size_t workers =
-      std::min(util::resolve_threads(opts.threads), n_cells);
+  const std::size_t workers = std::min(util::resolve_threads(opts.threads), n_cells);
   if (workers > 1 && n_cells > 1) {
+    // Cells parallelise, replications within a cell stay serial (null pool):
+    // nesting both levels on one fixed pool could park every worker on a
+    // future only another queued task can satisfy.
     util::ThreadPool pool(workers);
     // Submit every cell up front so workers are never idle at row
     // boundaries, but print each row as soon as *its* cells are done —
-    // streaming output in figure order, still byte-identical to serial.
+    // streaming output in row order, still byte-identical to serial.
     std::vector<std::future<void>> done;
     done.reserve(n_cells);
     for (std::size_t idx = 0; idx < n_cells; ++idx)
@@ -160,23 +149,58 @@ void run_figure(const FigureSpec& spec, const RunOptions& opts, std::ostream& ou
     // On error, keep draining every future: workers must not outlive the
     // locals their queued tasks reference.
     std::exception_ptr first_error;
-    for (std::size_t li = 0; li < spec.loads.size(); ++li) {
-      for (std::size_t si = 0; si < n_series; ++si) {
+    for (std::size_t ri = 0; ri < spec.rows.size(); ++ri) {
+      for (std::size_t ci = 0; ci < n_cols; ++ci) {
         try {
-          done[li * n_series + si].get();
+          done[ri * n_cols + ci].get();
         } catch (...) {
           if (!first_error) first_error = std::current_exception();
         }
       }
-      if (!first_error) print_row(li);
+      if (!first_error) print_row(ri);
     }
     if (first_error) std::rethrow_exception(first_error);
   } else {
-    for (std::size_t li = 0; li < spec.loads.size(); ++li) {
-      for (std::size_t si = 0; si < n_series; ++si) run_cell(li * n_series + si);
-      print_row(li);
+    for (std::size_t ri = 0; ri < spec.rows.size(); ++ri) {
+      for (std::size_t ci = 0; ci < n_cols; ++ci) run_cell(ri * n_cols + ci);
+      print_row(ri);
     }
   }
+}
+
+void run_figure(const FigureSpec& spec, const RunOptions& opts, std::ostream& out,
+                bool with_ci) {
+  out << "# " << spec.id << ": " << spec.title << "\n";
+  out << "# metric=" << spec.metric << " mesh=" << spec.base.sys.geom.width() << "x"
+      << spec.base.sys.geom.length() << " st=" << spec.base.sys.net.st
+      << " Plen=" << spec.base.sys.net.packet_len << "\n";
+
+  GridSpec grid;
+  grid.corner = "load";
+  grid.metric = spec.metric;
+  grid.rows.reserve(spec.loads.size());
+  for (const double load : spec.loads) {
+    std::ostringstream label;  // default stream formatting, same bytes as
+    label << load;             // the historical direct `out << load`
+    grid.rows.push_back(label.str());
+  }
+  grid.cols.reserve(spec.series.size());
+  for (const Series& s : spec.series) {
+    ExperimentConfig labelled = spec.base;
+    labelled.allocator = s.allocator;
+    labelled.scheduler = s.scheduler;
+    grid.cols.push_back(labelled.series_label());
+  }
+  grid.cell = [&spec, &opts](std::size_t row, std::size_t col) {
+    const Series& s = spec.series[col];
+    ExperimentConfig cfg = spec.base;
+    cfg.allocator = s.allocator;
+    cfg.scheduler = s.scheduler;
+    set_offered_load(cfg, spec.loads[row]);
+    apply_effort(cfg, opts);
+    return cfg;
+  };
+  run_grid(grid, opts, out, with_ci);
 }
 
 }  // namespace procsim::core

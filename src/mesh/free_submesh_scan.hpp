@@ -13,10 +13,12 @@ namespace procsim::mesh {
 /// Free-sub-mesh queries over a MeshState occupancy bitmap.
 ///
 /// Builds a 2D prefix sum of the busy map once, after which "is this
-/// rectangle entirely free?" is O(1). At the paper's mesh scale (16×22) the
-/// exhaustive scans below are microseconds; their virtue is that they are
-/// obviously correct, which matters because GABL's behaviour hinges on these
-/// searches. The scan object is a snapshot: rebuild after any allocation.
+/// rectangle entirely free?" is O(1). The scan object is a snapshot: rebuild
+/// after any allocation — which is exactly why production queries now go
+/// through the incrementally maintained OccupancyIndex instead. This class
+/// stays as the reference oracle: its exhaustive scans are obviously
+/// correct, and the equivalence tests plus OccupancyIndex::set_cross_check
+/// hold the index to its answers bit for bit.
 class FreeSubmeshScan {
  public:
   explicit FreeSubmeshScan(const MeshState& state);

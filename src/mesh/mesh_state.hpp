@@ -46,6 +46,10 @@ class MeshState {
   /// Row-major list of free node ids (Paging(0) ground truth / diagnostics).
   [[nodiscard]] std::vector<NodeId> free_nodes() const;
 
+  /// free_nodes() into a caller-owned buffer (cleared first) so hot paths can
+  /// reuse one allocation across calls.
+  void free_nodes_into(std::vector<NodeId>& out) const;
+
  private:
   [[nodiscard]] std::size_t checked(NodeId n) const;
 

@@ -1,0 +1,405 @@
+#include "mesh/occupancy_index.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+#include "mesh/free_submesh_scan.hpp"
+#include "mesh/mesh_state.hpp"
+
+namespace procsim::mesh {
+namespace {
+
+std::atomic<bool> g_cross_check{false};
+
+/// Mask with bits [b1, b2] of a word set (0 <= b1 <= b2 <= 63).
+[[nodiscard]] constexpr std::uint64_t bit_range(int b1, int b2) noexcept {
+  const std::uint64_t upto = b2 == 63 ? ~std::uint64_t{0}
+                                      : ((std::uint64_t{1} << (b2 + 1)) - 1);
+  return upto & ~((std::uint64_t{1} << b1) - 1);
+}
+
+/// In-place r &= (r >> t) over a multi-word little-endian bit span. Safe to
+/// run ascending: position i only reads words at indices >= i, and reads its
+/// own pre-modification value.
+void and_shr(std::uint64_t* r, std::size_t words, std::int32_t t) {
+  const std::size_t word_off = static_cast<std::size_t>(t) / 64;
+  const int bit_off = t % 64;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::size_t j = i + word_off;
+    std::uint64_t v = j < words ? r[j] >> bit_off : 0;
+    if (bit_off != 0 && j + 1 < words) v |= r[j + 1] << (64 - bit_off);
+    r[i] &= v;
+  }
+}
+
+/// In-place right shift by one bit over a multi-word span.
+void shr1(std::uint64_t* r, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint64_t v = r[i] >> 1;
+    if (i + 1 < words) v |= r[i + 1] << 63;
+    r[i] = v;
+  }
+}
+
+/// Column of the lowest set bit of a row span; caller guarantees one exists.
+[[nodiscard]] std::int32_t lowest_bit(const std::uint64_t* r, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i)
+    if (r[i] != 0)
+      return static_cast<std::int32_t>(i * 64 + static_cast<std::size_t>(
+                                                    std::countr_zero(r[i])));
+  return -1;  // unreachable by contract
+}
+
+[[noreturn]] void report_divergence(const char* query, std::int32_t a, std::int32_t b,
+                                    const std::optional<SubMesh>& got,
+                                    const std::optional<SubMesh>& want) {
+  throw std::logic_error(
+      std::string("OccupancyIndex cross-check: ") + query + "(" + std::to_string(a) +
+      "," + std::to_string(b) + ") diverged from FreeSubmeshScan: index=" +
+      (got ? got->to_string() : "nullopt") +
+      " oracle=" + (want ? want->to_string() : "nullopt"));
+}
+
+}  // namespace
+
+void OccupancyIndex::set_cross_check(bool enabled) noexcept {
+  g_cross_check.store(enabled, std::memory_order_relaxed);
+}
+
+bool OccupancyIndex::cross_check_enabled() noexcept {
+  return g_cross_check.load(std::memory_order_relaxed);
+}
+
+OccupancyIndex::OccupancyIndex(Geometry geom)
+    : geom_(geom),
+      words_(static_cast<std::size_t>(geom.width() + 63) / 64),
+      tail_mask_(geom.width() % 64 == 0
+                     ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << (geom.width() % 64)) - 1),
+      free_(static_cast<std::size_t>(geom.length()) * words_, 0),
+      free_count_(geom.nodes()) {
+  clear();
+}
+
+void OccupancyIndex::clear() {
+  for (std::int32_t y = 0; y < geom_.length(); ++y) {
+    std::uint64_t* r = row(y);
+    for (std::size_t i = 0; i < words_; ++i) r[i] = ~std::uint64_t{0};
+    r[words_ - 1] = tail_mask_;
+  }
+  free_count_ = geom_.nodes();
+}
+
+bool OccupancyIndex::is_busy(Coord c) const {
+  if (!geom_.contains(c)) throw std::out_of_range("OccupancyIndex: node out of range");
+  return (row(c.y)[static_cast<std::size_t>(c.x) / 64] &
+          (std::uint64_t{1} << (c.x % 64))) == 0;
+}
+
+void OccupancyIndex::check_inside(const SubMesh& s) const {
+  if (!s.valid() || !geom_.contains(s.base()) || !geom_.contains(s.end()))
+    throw std::out_of_range("OccupancyIndex: sub-mesh outside mesh");
+}
+
+void OccupancyIndex::allocate(const SubMesh& s) {
+  check_inside(s);
+  const std::size_t w1 = static_cast<std::size_t>(s.x1) / 64;
+  const std::size_t w2 = static_cast<std::size_t>(s.x2) / 64;
+  for (std::int32_t y = s.y1; y <= s.y2; ++y) {
+    std::uint64_t* r = row(y);
+    for (std::size_t w = w1; w <= w2; ++w) {
+      const std::uint64_t m = bit_range(w == w1 ? s.x1 % 64 : 0,
+                                        w == w2 ? s.x2 % 64 : 63);
+      if ((r[w] & m) != m)
+        throw std::logic_error("OccupancyIndex: double allocation of node");
+      r[w] &= ~m;
+    }
+  }
+  free_count_ -= s.area();
+}
+
+void OccupancyIndex::release(const SubMesh& s) {
+  check_inside(s);
+  const std::size_t w1 = static_cast<std::size_t>(s.x1) / 64;
+  const std::size_t w2 = static_cast<std::size_t>(s.x2) / 64;
+  for (std::int32_t y = s.y1; y <= s.y2; ++y) {
+    std::uint64_t* r = row(y);
+    for (std::size_t w = w1; w <= w2; ++w) {
+      const std::uint64_t m = bit_range(w == w1 ? s.x1 % 64 : 0,
+                                        w == w2 ? s.x2 % 64 : 63);
+      if ((r[w] & m) != 0)
+        throw std::logic_error("OccupancyIndex: releasing a free node");
+      r[w] |= m;
+    }
+  }
+  free_count_ += s.area();
+}
+
+void OccupancyIndex::allocate(NodeId n) {
+  const Coord c = geom_.coord(n);
+  allocate(SubMesh{c.x, c.y, c.x, c.y});
+}
+
+void OccupancyIndex::release(NodeId n) {
+  const Coord c = geom_.coord(n);
+  release(SubMesh{c.x, c.y, c.x, c.y});
+}
+
+std::int32_t OccupancyIndex::free_in_row_range(std::int32_t y, std::int32_t c1,
+                                               std::int32_t c2) const {
+  const std::uint64_t* r = row(y);
+  const std::size_t w1 = static_cast<std::size_t>(c1) / 64;
+  const std::size_t w2 = static_cast<std::size_t>(c2) / 64;
+  std::int32_t total = 0;
+  for (std::size_t w = w1; w <= w2; ++w) {
+    const std::uint64_t m = bit_range(w == w1 ? c1 % 64 : 0, w == w2 ? c2 % 64 : 63);
+    total += std::popcount(r[w] & m);
+  }
+  return total;
+}
+
+std::int32_t OccupancyIndex::busy_in(const SubMesh& s) const {
+  if (!s.valid() || !geom_.contains(s.base()) || !geom_.contains(s.end()))
+    throw std::invalid_argument("OccupancyIndex::busy_in: sub-mesh outside mesh");
+  std::int32_t free = 0;
+  for (std::int32_t y = s.y1; y <= s.y2; ++y) free += free_in_row_range(y, s.x1, s.x2);
+  return s.area() - free;
+}
+
+bool OccupancyIndex::is_free(const SubMesh& s) const {
+  if (!s.valid() || !geom_.contains(s.base()) || !geom_.contains(s.end())) return false;
+  for (std::int32_t y = s.y1; y <= s.y2; ++y)
+    if (free_in_row_range(y, s.x1, s.x2) != s.width()) return false;
+  return true;
+}
+
+void OccupancyIndex::compute_run_row(std::int32_t y, std::int32_t a) const {
+  // Doubling shift-AND: afterwards, bit x of the row mask is set iff bits
+  // x .. x+a-1 of the row are all free.
+  const std::uint64_t* src = row(y);
+  std::uint64_t* r = runs_.data() + static_cast<std::size_t>(y) * words_;
+  std::copy(src, src + words_, r);
+  std::int32_t have = 1;
+  while (have < a) {
+    const std::int32_t t = std::min(have, a - have);
+    and_shr(r, words_, t);
+    have += t;
+  }
+}
+
+bool OccupancyIndex::window_into_win(std::int32_t y, std::int32_t b) const {
+  const std::uint64_t* r0 = runs_.data() + static_cast<std::size_t>(y) * words_;
+  bool nonzero = false;
+  for (std::size_t i = 0; i < words_; ++i) nonzero |= (win_[i] = r0[i]) != 0;
+  for (std::int32_t k = 1; k < b && nonzero; ++k) {
+    const std::uint64_t* rk = runs_.data() + static_cast<std::size_t>(y + k) * words_;
+    nonzero = false;
+    for (std::size_t i = 0; i < words_; ++i) nonzero |= (win_[i] &= rk[i]) != 0;
+  }
+  return nonzero;
+}
+
+std::optional<SubMesh> OccupancyIndex::first_fit_impl(std::int32_t a,
+                                                      std::int32_t b) const {
+  if (a <= 0 || b <= 0) throw std::invalid_argument("first_fit: non-positive request");
+  if (a > geom_.width() || b > geom_.length()) return std::nullopt;
+  runs_.resize(free_.size());
+  win_.resize(words_);
+  // Run masks are computed lazily as the scan descends: a hit in the first
+  // rows (the common near-empty case, GABL's contiguous fast path) never
+  // touches the rest of the mesh.
+  std::int32_t ready = 0;
+  for (std::int32_t y = 0; y + b <= geom_.length(); ++y) {
+    while (ready < y + b) compute_run_row(ready++, a);
+    if (window_into_win(y, b))
+      return SubMesh::from_base(Coord{lowest_bit(win_.data(), words_), y}, a, b);
+  }
+  return std::nullopt;
+}
+
+std::optional<SubMesh> OccupancyIndex::best_fit_impl(std::int32_t a,
+                                                     std::int32_t b) const {
+  if (a <= 0 || b <= 0) throw std::invalid_argument("best_fit: non-positive request");
+  if (a > geom_.width() || b > geom_.length()) return std::nullopt;
+  const std::int32_t W = geom_.width();
+  const std::int32_t L = geom_.length();
+  runs_.resize(free_.size());
+  for (std::int32_t y = 0; y < L; ++y) compute_run_row(y, a);
+  win_.resize(words_);
+
+  // Scoring: a candidate's free border is the free-node count of its clipped
+  // ring, i.e. free(ring ∪ s) - area(s). colf_[x] caches, for the current
+  // window of rows [y-1, y+b] (out-of-mesh rows contribute nothing), the free
+  // nodes in column x; colp_ holds its prefix sums, making each candidate's
+  // score an O(1) window sum. The cache slides forward a row at a time, so a
+  // whole query costs O(W·L/64 + W) instead of a prefix-sum snapshot rebuild.
+  colf_.assign(static_cast<std::size_t>(W), 0);
+  colp_.assign(static_cast<std::size_t>(W) + 1, 0);
+  std::int32_t cached_y = std::numeric_limits<std::int32_t>::min();
+  const auto adjust_row = [&](std::int32_t r, std::int32_t delta) {
+    if (r < 0 || r >= L) return;
+    const std::uint64_t* words = row(r);
+    for (std::size_t i = 0; i < words_; ++i) {
+      std::uint64_t v = words[i];
+      while (v != 0) {
+        colf_[i * 64 + static_cast<std::size_t>(std::countr_zero(v))] += delta;
+        v &= v - 1;
+      }
+    }
+  };
+  const auto set_window = [&](std::int32_t y) {
+    if (cached_y != std::numeric_limits<std::int32_t>::min() && y > cached_y &&
+        y - cached_y <= b) {
+      while (cached_y < y) {
+        adjust_row(cached_y - 1, -1);
+        ++cached_y;
+        adjust_row(cached_y + b, +1);
+      }
+    } else if (cached_y != y) {
+      std::fill(colf_.begin(), colf_.end(), 0);
+      for (std::int32_t r = y - 1; r <= y + b; ++r) adjust_row(r, +1);
+      cached_y = y;
+    }
+    for (std::int32_t x = 0; x < W; ++x)
+      colp_[static_cast<std::size_t>(x) + 1] =
+          colp_[static_cast<std::size_t>(x)] + colf_[static_cast<std::size_t>(x)];
+  };
+
+  std::optional<SubMesh> best;
+  std::int32_t best_score = std::numeric_limits<std::int32_t>::max();
+  for (std::int32_t y = 0; y + b <= L; ++y) {
+    if (!window_into_win(y, b)) continue;
+    set_window(y);
+    for (std::size_t i = 0; i < words_; ++i) {
+      std::uint64_t v = win_[i];
+      while (v != 0) {
+        const std::int32_t x = static_cast<std::int32_t>(
+            i * 64 + static_cast<std::size_t>(std::countr_zero(v)));
+        v &= v - 1;
+        const std::int32_t c1 = std::max(x - 1, 0);
+        const std::int32_t c2 = std::min(x + a, W - 1);
+        const std::int32_t score = colp_[static_cast<std::size_t>(c2) + 1] -
+                                   colp_[static_cast<std::size_t>(c1)] - a * b;
+        if (score < best_score) {
+          best_score = score;
+          best = SubMesh::from_base(Coord{x, y}, a, b);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<SubMesh> OccupancyIndex::largest_free_impl(std::int32_t max_w,
+                                                         std::int32_t max_l,
+                                                         std::int64_t max_area) const {
+  max_w = std::min(max_w, geom_.width());
+  max_l = std::min(max_l, geom_.length());
+  if (max_w <= 0 || max_l <= 0 || max_area <= 0) return std::nullopt;
+  const std::int32_t L = geom_.length();
+
+  // runs_ holds R_w (width-w run starts) and is maintained incrementally
+  // across w via R_w = R_{w-1} & (row >> (w-1)); lf_s_ carries the shifted
+  // rows, lf_c_ the height-l window AND within each w.
+  runs_ = free_;
+  lf_s_ = free_;
+  lf_c_.resize(free_.size());
+
+  std::optional<SubMesh> best;
+  std::int64_t best_area = 0;
+  for (std::int32_t w = 1; w <= max_w; ++w) {
+    bool any_run = false;
+    if (w > 1) {
+      for (std::int32_t y = 0; y < L; ++y)
+        shr1(lf_s_.data() + static_cast<std::size_t>(y) * words_, words_);
+      for (std::size_t i = 0; i < runs_.size(); ++i)
+        any_run |= (runs_[i] &= lf_s_[i]) != 0;
+    } else {
+      for (std::size_t i = 0; i < runs_.size(); ++i) any_run |= runs_[i] != 0;
+    }
+    if (!any_run) break;  // no width-w free run anywhere ⇒ none wider either
+
+    std::copy(runs_.begin(), runs_.end(), lf_c_.begin());
+    for (std::int32_t l = 1; l <= max_l; ++l) {
+      bool any_window = false;
+      if (l > 1) {
+        for (std::int32_t y = 0; y + l <= L; ++y) {
+          std::uint64_t* c = lf_c_.data() + static_cast<std::size_t>(y) * words_;
+          const std::uint64_t* r =
+              runs_.data() + static_cast<std::size_t>(y + l - 1) * words_;
+          for (std::size_t i = 0; i < words_; ++i) any_window |= (c[i] &= r[i]) != 0;
+        }
+      } else {
+        for (std::size_t i = 0; i < lf_c_.size(); ++i) any_window |= lf_c_[i] != 0;
+      }
+      if (!any_window) break;  // taller windows only lose candidates
+
+      const std::int64_t area = static_cast<std::int64_t>(w) * l;
+      if (area > max_area) break;     // area grows with l for fixed w
+      if (area <= best_area) continue;  // same skip rule as the legacy scan
+      for (std::int32_t y = 0; y + l <= L; ++y) {
+        const std::uint64_t* c = lf_c_.data() + static_cast<std::size_t>(y) * words_;
+        bool nonzero = false;
+        for (std::size_t i = 0; i < words_ && !nonzero; ++i) nonzero = c[i] != 0;
+        if (nonzero) {
+          best = SubMesh::from_base(Coord{lowest_bit(c, words_), y}, w, l);
+          best_area = area;
+          break;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<SubMesh> OccupancyIndex::first_fit(std::int32_t a, std::int32_t b) const {
+  const auto got = first_fit_impl(a, b);
+  if (cross_check_enabled()) {
+    const FreeSubmeshScan oracle(to_mesh_state());
+    const auto want = oracle.first_fit(a, b);
+    if (got != want) report_divergence("first_fit", a, b, got, want);
+  }
+  return got;
+}
+
+std::optional<SubMesh> OccupancyIndex::first_fit_rotatable(std::int32_t a,
+                                                           std::int32_t b) const {
+  if (auto s = first_fit(a, b)) return s;
+  if (a != b) return first_fit(b, a);
+  return std::nullopt;
+}
+
+std::optional<SubMesh> OccupancyIndex::best_fit(std::int32_t a, std::int32_t b) const {
+  const auto got = best_fit_impl(a, b);
+  if (cross_check_enabled()) {
+    const FreeSubmeshScan oracle(to_mesh_state());
+    const auto want = oracle.best_fit(a, b);
+    if (got != want) report_divergence("best_fit", a, b, got, want);
+  }
+  return got;
+}
+
+std::optional<SubMesh> OccupancyIndex::largest_free(std::int32_t max_w,
+                                                    std::int32_t max_l,
+                                                    std::int64_t max_area) const {
+  const auto got = largest_free_impl(max_w, max_l, max_area);
+  if (cross_check_enabled()) {
+    const FreeSubmeshScan oracle(to_mesh_state());
+    const auto want = oracle.largest_free(max_w, max_l, max_area);
+    if (got != want) report_divergence("largest_free", max_w, max_l, got, want);
+  }
+  return got;
+}
+
+MeshState OccupancyIndex::to_mesh_state() const {
+  MeshState state(geom_);
+  for (std::int32_t y = 0; y < geom_.length(); ++y)
+    for (std::int32_t x = 0; x < geom_.width(); ++x)
+      if (is_busy(Coord{x, y})) state.allocate(geom_.id(Coord{x, y}));
+  return state;
+}
+
+}  // namespace procsim::mesh

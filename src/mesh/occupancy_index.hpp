@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "mesh/coord.hpp"
+#include "mesh/submesh.hpp"
+
+namespace procsim::mesh {
+
+class MeshState;
+
+/// Incrementally maintained occupancy bitmap with bit-parallel free-sub-mesh
+/// queries — the scalable successor of FreeSubmeshScan's snapshot rebuild.
+///
+/// Each mesh row is a chain of 64-bit words holding one *free* bit per node
+/// (tail bits past the width stay zero, i.e. read as busy). allocate() and
+/// release() touch only the words of the rows they span, so maintaining the
+/// index costs O(rows touched) per event instead of an O(W·L) rebuild per
+/// query. The rectangle queries then run on whole words: "columns where `a`
+/// consecutive free bits start" is a handful of shift-ANDs per row, and a
+/// height-`b` window is the AND of `b` row masks.
+///
+/// Every query reproduces FreeSubmeshScan's answer bit for bit — same scan
+/// order, same tie-breaking — which the randomized equivalence test and the
+/// opt-in cross-check oracle (set_cross_check) both enforce; the paper-scale
+/// figure CSVs are byte-identical either way.
+///
+/// Queries reuse internal scratch buffers (that reuse is part of the point:
+/// no per-query vector allocations), so one OccupancyIndex must not be
+/// queried from two threads at once. Allocators are per-simulated-machine
+/// and single-threaded; parallel replications each own their allocator.
+class OccupancyIndex {
+ public:
+  explicit OccupancyIndex(Geometry geom);
+
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] std::int32_t free_count() const noexcept { return free_count_; }
+  [[nodiscard]] std::int32_t busy_count() const noexcept {
+    return geom_.nodes() - free_count_;
+  }
+  [[nodiscard]] bool is_busy(Coord c) const;
+
+  /// O(rows touched) incremental updates. Preconditions mirror MeshState:
+  /// allocate() requires every node of `s` free, release() every node busy;
+  /// violations throw std::logic_error, out-of-mesh throws std::out_of_range.
+  void allocate(const SubMesh& s);
+  void release(const SubMesh& s);
+  void allocate(NodeId n);
+  void release(NodeId n);
+
+  /// Frees every node (fresh replication).
+  void clear();
+
+  // --- Queries, answer-identical to FreeSubmeshScan on the same occupancy ---
+
+  /// Number of busy nodes inside `s` (must lie within the mesh).
+  [[nodiscard]] std::int32_t busy_in(const SubMesh& s) const;
+
+  /// True if `s` lies within the mesh and contains no busy node.
+  [[nodiscard]] bool is_free(const SubMesh& s) const;
+
+  /// First-fit: lowest base in row-major order hosting a free a×b sub-mesh.
+  [[nodiscard]] std::optional<SubMesh> first_fit(std::int32_t a, std::int32_t b) const;
+
+  /// First-fit trying a×b then, if that fails and a != b, the rotated b×a.
+  [[nodiscard]] std::optional<SubMesh> first_fit_rotatable(std::int32_t a,
+                                                           std::int32_t b) const;
+
+  /// Best-fit: among all free a×b placements, the one bordered by the fewest
+  /// free nodes; ties resolve to the lowest row-major base.
+  [[nodiscard]] std::optional<SubMesh> best_fit(std::int32_t a, std::int32_t b) const;
+
+  /// Largest-area free sub-mesh with width <= max_w, length <= max_l and
+  /// optionally area <= max_area; ties resolve to the first candidate in
+  /// deterministic (width, length, base) scan order (GABL's inner search).
+  [[nodiscard]] std::optional<SubMesh> largest_free(
+      std::int32_t max_w, std::int32_t max_l,
+      std::int64_t max_area = std::numeric_limits<std::int64_t>::max()) const;
+
+  /// Reconstructs the equivalent per-node MeshState (oracle and diagnostics).
+  [[nodiscard]] MeshState to_mesh_state() const;
+
+  /// Debug-mode oracle: when enabled, every fit query also runs the legacy
+  /// FreeSubmeshScan on a reconstructed snapshot and throws std::logic_error
+  /// on any divergence. Process-wide and off by default — it restores the
+  /// O(W·L)-per-query cost the index exists to remove.
+  static void set_cross_check(bool enabled) noexcept;
+  [[nodiscard]] static bool cross_check_enabled() noexcept;
+
+ private:
+  [[nodiscard]] const std::uint64_t* row(std::int32_t y) const {
+    return free_.data() + static_cast<std::size_t>(y) * words_;
+  }
+  [[nodiscard]] std::uint64_t* row(std::int32_t y) {
+    return free_.data() + static_cast<std::size_t>(y) * words_;
+  }
+  void check_inside(const SubMesh& s) const;
+  /// Free nodes of row `y` in inclusive column range [c1, c2] (caller clips).
+  [[nodiscard]] std::int32_t free_in_row_range(std::int32_t y, std::int32_t c1,
+                                               std::int32_t c2) const;
+  /// Fills runs_ row `y` with the mask of columns where a run of `a` free
+  /// bits starts (caller sizes runs_ to free_.size() first).
+  void compute_run_row(std::int32_t y, std::int32_t a) const;
+  /// win_ = AND of runs_ rows [y, y+b); false (with early exit) if empty.
+  [[nodiscard]] bool window_into_win(std::int32_t y, std::int32_t b) const;
+
+  [[nodiscard]] std::optional<SubMesh> first_fit_impl(std::int32_t a,
+                                                      std::int32_t b) const;
+  [[nodiscard]] std::optional<SubMesh> best_fit_impl(std::int32_t a,
+                                                     std::int32_t b) const;
+  [[nodiscard]] std::optional<SubMesh> largest_free_impl(std::int32_t max_w,
+                                                         std::int32_t max_l,
+                                                         std::int64_t max_area) const;
+
+  Geometry geom_;
+  std::size_t words_;             ///< 64-bit words per row
+  std::uint64_t tail_mask_;       ///< valid bits of the last word of a row
+  std::vector<std::uint64_t> free_;  ///< length() * words_, bit = 1 ⇒ free
+  std::int32_t free_count_;
+
+  // Query scratch, reused across calls (see class comment on thread-safety).
+  mutable std::vector<std::uint64_t> runs_;  ///< per-row run-start masks
+  mutable std::vector<std::uint64_t> win_;   ///< height-b window AND
+  mutable std::vector<std::uint64_t> lf_s_;  ///< largest_free: shifted rows
+  mutable std::vector<std::uint64_t> lf_c_;  ///< largest_free: window AND
+  mutable std::vector<std::int32_t> colf_;   ///< best_fit: free count per column
+  mutable std::vector<std::int32_t> colp_;   ///< best_fit: prefix sums of colf_
+};
+
+}  // namespace procsim::mesh

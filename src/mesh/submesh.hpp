@@ -50,8 +50,19 @@ struct SubMesh {
   }
 
   [[nodiscard]] std::string to_string() const {
-    return "(" + std::to_string(x1) + "," + std::to_string(y1) + "," +
-           std::to_string(x2) + "," + std::to_string(y2) + ")";
+    // Built by append rather than operator+ chaining: GCC 12's -Wrestrict
+    // false-positives on the `"(" + std::to_string(...)` pattern (PR105651).
+    std::string out;
+    out += '(';
+    out += std::to_string(x1);
+    out += ',';
+    out += std::to_string(y1);
+    out += ',';
+    out += std::to_string(x2);
+    out += ',';
+    out += std::to_string(y2);
+    out += ')';
+    return out;
   }
 
   friend constexpr auto operator<=>(const SubMesh&, const SubMesh&) = default;

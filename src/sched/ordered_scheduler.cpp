@@ -1,14 +1,14 @@
 #include "sched/ordered_scheduler.hpp"
 
+#include "sched/registry.hpp"
+
 namespace procsim::sched {
 
 const char* to_string(Policy p) noexcept {
-  switch (p) {
-    case Policy::kFcfs: return "FCFS";
-    case Policy::kSsd: return "SSD";
-    case Policy::kSmallestJob: return "SJF";
-    case Policy::kLargestJob: return "LJF";
-  }
+  // kPolicyNames is the single source of truth shared with the registry's
+  // parse_policy/make_scheduler, so printed names always round-trip.
+  for (const auto& [policy, name] : kPolicyNames)
+    if (policy == p) return name;
   return "?";
 }
 

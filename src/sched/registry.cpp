@@ -1,0 +1,39 @@
+#include "sched/registry.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace procsim::sched {
+
+using util::iequals;
+
+std::optional<Policy> parse_policy(std::string_view name) noexcept {
+  for (const auto& [policy, canonical] : kPolicyNames)
+    if (iequals(name, canonical)) return policy;
+  return std::nullopt;
+}
+
+std::vector<std::string> known_schedulers() {
+  std::vector<std::string> out;
+  out.reserve(kPolicyNames.size());
+  for (const auto& [policy, canonical] : kPolicyNames) out.emplace_back(canonical);
+  return out;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(Policy policy) {
+  return std::make_unique<OrderedScheduler>(policy);
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (const auto policy = parse_policy(name)) return make_scheduler(*policy);
+  std::string known;
+  for (const std::string& n : known_schedulers()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("make_scheduler: unknown policy '" + name +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace procsim::sched

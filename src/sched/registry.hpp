@@ -1,0 +1,38 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sched/ordered_scheduler.hpp"
+#include "sched/scheduler.hpp"
+
+namespace procsim::sched {
+
+/// Single source of truth for policy names: to_string(Policy), parse_policy()
+/// and make_scheduler(name) all read this table, so a name printed in a CSV
+/// header or by Scheduler::name() always round-trips through the registry.
+inline constexpr std::array<std::pair<Policy, const char*>, 4> kPolicyNames{{
+    {Policy::kFcfs, "FCFS"},
+    {Policy::kSsd, "SSD"},
+    {Policy::kSmallestJob, "SJF"},
+    {Policy::kLargestJob, "LJF"},
+}};
+
+/// Case-insensitive name -> policy; nullopt for unknown names.
+[[nodiscard]] std::optional<Policy> parse_policy(std::string_view name) noexcept;
+
+/// Canonical names accepted by make_scheduler, in table order.
+[[nodiscard]] std::vector<std::string> known_schedulers();
+
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(Policy policy);
+
+/// Name-based factory for drivers; throws std::invalid_argument (listing the
+/// known names) when `name` does not parse.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+}  // namespace procsim::sched

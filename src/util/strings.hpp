@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace procsim::util {
+
+/// ASCII case-insensitive equality — the name-matching rule shared by the
+/// allocator and scheduler registries.
+[[nodiscard]] inline bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+}  // namespace procsim::util

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "alloc/registry.hpp"
+#include "core/experiment.hpp"
+#include "sched/registry.hpp"
+
+namespace {
+
+using procsim::mesh::Geometry;
+
+TEST(AllocRegistry, KnownNamesRoundTripThroughName) {
+  for (const std::string& name : procsim::alloc::known_allocators()) {
+    const auto a = procsim::alloc::make_allocator(name, Geometry(8, 8));
+    ASSERT_NE(a, nullptr) << name;
+    EXPECT_EQ(a->name(), name);
+  }
+}
+
+TEST(AllocRegistry, ParsingIsCaseInsensitiveWithPagingVariants) {
+  using procsim::alloc::parse_allocator_name;
+  EXPECT_EQ(parse_allocator_name("gabl")->canonical, "GABL");
+  EXPECT_EQ(parse_allocator_name("FIRSTFIT")->canonical, "FirstFit");
+  EXPECT_EQ(parse_allocator_name("bestfit")->canonical, "BestFit");
+  EXPECT_EQ(parse_allocator_name("Paging")->canonical, "Paging(0)");
+  EXPECT_EQ(parse_allocator_name("paging(2)")->canonical, "Paging(2)");
+  EXPECT_EQ(parse_allocator_name("paging(2)")->paging_size_index, 2);
+  EXPECT_FALSE(parse_allocator_name("Paging(").has_value());
+  EXPECT_FALSE(parse_allocator_name("Paging(x)").has_value());
+  // Everything PageTable would reject at construction must already fail to
+  // parse, so drivers' fail-fast name validation is airtight.
+  EXPECT_TRUE(parse_allocator_name("Paging(15)").has_value());
+  EXPECT_FALSE(parse_allocator_name("Paging(16)").has_value());
+  EXPECT_FALSE(parse_allocator_name("Buddy").has_value());
+}
+
+TEST(AllocRegistry, UnknownNameThrowsListingKnown) {
+  try {
+    (void)procsim::alloc::make_allocator("NoSuch", Geometry(4, 4));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("GABL"), std::string::npos);
+  }
+}
+
+TEST(AllocRegistry, PagingSizeIndexReachesAllocatorName) {
+  const auto a = procsim::alloc::make_allocator("Paging(1)", Geometry(8, 8));
+  EXPECT_EQ(a->name(), "Paging(1)");
+}
+
+TEST(CoreRegistry, SpecLabelIsARegistryName) {
+  // core::make_allocator routes AllocatorSpec through the string registry,
+  // so every label must parse back to an equivalent spec.
+  using procsim::core::AllocatorKind;
+  using procsim::core::AllocatorSpec;
+  for (const auto kind :
+       {AllocatorKind::kGabl, AllocatorKind::kPaging, AllocatorKind::kMbs,
+        AllocatorKind::kFirstFit, AllocatorKind::kBestFit, AllocatorKind::kRandom}) {
+    AllocatorSpec spec;
+    spec.kind = kind;
+    spec.paging_size_index = kind == AllocatorKind::kPaging ? 2 : 0;
+    const auto parsed = procsim::core::parse_allocator_spec(spec.label());
+    ASSERT_TRUE(parsed.has_value()) << spec.label();
+    EXPECT_EQ(parsed->kind, spec.kind);
+    EXPECT_EQ(parsed->paging_size_index, spec.paging_size_index);
+    const auto a = procsim::core::make_allocator(spec, Geometry(8, 8), 1);
+    EXPECT_EQ(a->name(), spec.label());
+  }
+}
+
+TEST(SchedRegistry, PolicyNamesRoundTrip) {
+  // Satellite: to_string and make_scheduler parsing share kPolicyNames, so
+  // every policy's printed name must parse back to the same policy and the
+  // constructed scheduler must report it verbatim.
+  for (const auto& [policy, name] : procsim::sched::kPolicyNames) {
+    EXPECT_EQ(procsim::sched::to_string(policy), std::string(name));
+    const auto parsed = procsim::sched::parse_policy(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, policy);
+    const auto s = procsim::sched::make_scheduler(std::string(name));
+    EXPECT_EQ(s->name(), name);
+  }
+}
+
+TEST(SchedRegistry, ParseIsCaseInsensitiveAndTotal) {
+  EXPECT_EQ(procsim::sched::parse_policy("fcfs"),
+            std::optional(procsim::sched::Policy::kFcfs));
+  EXPECT_EQ(procsim::sched::parse_policy("ssd"),
+            std::optional(procsim::sched::Policy::kSsd));
+  EXPECT_FALSE(procsim::sched::parse_policy("LIFO").has_value());
+  EXPECT_THROW((void)procsim::sched::make_scheduler(std::string("LIFO")),
+               std::invalid_argument);
+  EXPECT_EQ(procsim::sched::known_schedulers().size(),
+            procsim::sched::kPolicyNames.size());
+}
+
+}  // namespace
