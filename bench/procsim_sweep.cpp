@@ -3,7 +3,9 @@
 // metric — the scenarios the hardcoded figure binaries cannot express.
 //
 //   procsim_sweep [--mesh=16x22[,32x32,...]] [--alloc=GABL,Paging(0),MBS]
-//                 [--sched=FCFS,SSD] [--workload=uniform|exponential|real]
+//                 [--sched=FCFS,SSD]
+//                 [--workload=uniform|exponential|real|swf:<path>|saturation|
+//                            bursty[;key=value...]]
 //                 [--metric=turnaround|service|utilization|latency|blocking|
 //                          hops|queue_length]
 //                 [--loads=0.005,0.01,...]
@@ -15,8 +17,11 @@
 // for any --threads value (see run_grid).
 //
 // Allocator and scheduler names are resolved through alloc::make_allocator /
-// sched::make_scheduler, so every registry strategy is reachable; unknown
-// names fail fast listing the known ones.
+// sched::make_scheduler, and workloads beyond the three figure families
+// through workload::make_source — SWF trace replay (`swf:<path>`), the
+// saturation (backlogged-queue) setup behind the utilization figures, and
+// the bursty MMPP stream — so every registry strategy and source is
+// reachable; unknown names fail fast listing the known ones.
 
 #include <algorithm>
 #include <cstdlib>
@@ -29,6 +34,7 @@
 #include "alloc/registry.hpp"
 #include "bench_common.hpp"
 #include "sched/registry.hpp"
+#include "workload/source_registry.hpp"
 
 namespace {
 
@@ -57,9 +63,13 @@ std::optional<mesh::Geometry> parse_mesh(const std::string& s) {
 [[noreturn]] void usage_error(const std::string& msg) {
   std::cerr << "procsim_sweep: " << msg << "\n"
             << "usage: procsim_sweep [--mesh=WxL[,WxL...]] [--alloc=A[,A...]]\n"
-            << "         [--sched=S[,S...]] [--workload=uniform|exponential|real]\n"
+            << "         [--sched=S[,S...]]\n"
+            << "         [--workload=uniform|exponential|real|swf:<path>|saturation|\n"
+            << "                    bursty[;key=value...]]\n"
             << "         [--metric=M] [--loads=x[,x...]]\n"
-            << "         [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]\n";
+            << "         [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]\n"
+            << "workload spec keys (workload/source_registry.hpp): load, jobs, mes,\n"
+            << "  f (trace arrival factor), n/dist (saturation), b/phase (bursty)\n";
   std::exit(2);
 }
 
@@ -103,9 +113,23 @@ int main(int argc, char** argv) {
   const core::RunOptions opts =
       core::parse_run_options(static_cast<int>(passthrough.size()), passthrough.data());
 
-  // Workload family template (bench_common) and its default load axis.
+  std::vector<mesh::Geometry> meshes;
+  std::vector<std::string> mesh_labels;
+  for (const std::string& ms : split_csv(mesh_arg)) {
+    const auto geom = parse_mesh(ms);
+    if (!geom) usage_error("bad mesh '" + ms + "' (expected WxL)");
+    meshes.push_back(*geom);
+    mesh_labels.push_back(std::to_string(geom->width()) + "x" +
+                          std::to_string(geom->length()));
+  }
+  if (meshes.empty()) usage_error("empty --mesh");
+
+  // Workload family template and its default load axis: the three figure
+  // families keep their bench_common templates (and their exact CSV bytes);
+  // anything else is a workload::make_source registry spec.
   core::ExperimentConfig base;
   std::vector<double> loads;
+  bool saturation = false;
   if (workload == "uniform") {
     base = bench::stochastic_base(workload::SideDistribution::kUniform);
     loads = bench::loads_uniform();
@@ -116,9 +140,40 @@ int main(int argc, char** argv) {
     base = bench::trace_base();
     loads = bench::loads_real();
   } else {
-    usage_error("unknown workload '" + workload + "'");
+    const auto spec = workload::parse_source_spec(workload);
+    if (!spec) usage_error("unknown workload '" + workload + "'");
+    base = bench::base_config();
+    base.workload.source_spec = workload;
+    // No stream-length override: the registry defaults apply (trace kinds
+    // replay the *whole* file, not the first WorkloadSpec.job_count records).
+    // --jobs / --fast still cap it through apply_effort.
+    base.workload.job_count = 0;
+    if (spec->kind == "swf") {
+      base.sys.target_completions = 600;  // the trace_base effort default
+      loads = bench::loads_real();
+    } else if (spec->kind == "saturation") {
+      // The utilization-figure setup: a 3x backlog, warmup skipping the
+      // cold-start fill (bench_common::saturated), one row — there is no
+      // load axis when every job is already waiting at t = 0.
+      saturation = true;
+      base.workload.job_count = 3 * base.sys.target_completions;
+      base.sys.warmup_completions = base.sys.target_completions / 10;
+      loads = {1.0};
+    } else {
+      loads = bench::loads_uniform();
+    }
+    // Fail fast on bad option keys / unreadable SWF files before any cell
+    // spends a replicated simulation on them.
+    try {
+      (void)workload::make_source(workload, meshes[0]);
+    } catch (const std::exception& e) {
+      usage_error(e.what());
+    }
   }
   if (!loads_arg.empty()) {
+    // Saturation has no load axis: every job is already waiting at t = 0, so
+    // sweeping loads would just recompute the identical row.
+    if (saturation) usage_error("--loads does not apply to --workload=saturation");
     loads.clear();
     for (const std::string& s : split_csv(loads_arg)) {
       char* end = nullptr;
@@ -168,17 +223,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<mesh::Geometry> meshes;
-  std::vector<std::string> mesh_labels;
-  for (const std::string& ms : split_csv(mesh_arg)) {
-    const auto geom = parse_mesh(ms);
-    if (!geom) usage_error("bad mesh '" + ms + "' (expected WxL)");
-    meshes.push_back(*geom);
-    mesh_labels.push_back(std::to_string(geom->width()) + "x" +
-                          std::to_string(geom->length()));
-  }
-  if (meshes.empty()) usage_error("empty --mesh");
-
   core::GridSpec grid;
   grid.metric = metric;
   grid.cols.reserve(series.size());
@@ -208,7 +252,7 @@ int main(int argc, char** argv) {
     for (const double load : loads) {
       std::ostringstream label;
       label << load;
-      grid.rows.push_back(label.str());
+      grid.rows.push_back(saturation ? "saturated" : label.str());
     }
     grid.cell = [&](std::size_t row, std::size_t col) {
       return make_cell(meshes[0], loads[row], series[col]);

@@ -6,16 +6,33 @@
 // baselines pay instead with queueing (turnaround) through external
 // fragmentation.
 //
-//   ./strategy_comparison [--jobs=N] [--seed=N]
+//   ./strategy_comparison [--jobs=N] [--seed=N] [--workload=SPEC]
+//
+// --workload takes any workload::make_source spec (the same grammar as
+// `procsim_sweep --workload=`): e.g. "bursty;b=8", "saturation;n=2000",
+// "swf:trace.swf" — the whole table then compares the strategies under that
+// stream instead of the default uniform stochastic one.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/figure_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace procsim;
-  const core::RunOptions opts = core::parse_run_options(argc, argv);
+  std::string workload_spec;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workload=", 11) == 0)
+      workload_spec = argv[i] + 11;
+    else
+      passthrough.push_back(argv[i]);
+  }
+  const core::RunOptions opts = core::parse_run_options(
+      static_cast<int>(passthrough.size()), passthrough.data());
 
   core::ExperimentConfig cfg;
   cfg.sys.geom = mesh::Geometry(16, 22);
@@ -24,13 +41,17 @@ int main(int argc, char** argv) {
   cfg.workload.kind = core::WorkloadKind::kStochastic;
   cfg.workload.job_count = cfg.sys.target_completions;
   cfg.workload.stochastic.load = 0.02;
+  cfg.workload.source_spec = workload_spec;
+  cfg.workload.load = 0.02;
   cfg.seed = opts.seed;
 
   // Every strategy the registry knows, by name — the same names
   // `procsim_sweep --alloc=...` accepts.
   const char* names[] = {"GABL", "Paging(0)", "MBS", "Random", "FirstFit", "BestFit"};
 
-  std::printf("stochastic uniform workload, load 0.02, 16x22 mesh, all-to-all\n\n");
+  std::printf("%s workload, 16x22 mesh, all-to-all\n\n",
+              workload_spec.empty() ? "stochastic uniform (load 0.02)"
+                                    : workload_spec.c_str());
   std::printf("%-16s %12s %12s %8s %8s %10s %10s\n", "strategy", "turnaround",
               "service", "util", "hops", "latency", "blocking");
   for (const auto policy : {sched::Policy::kFcfs, sched::Policy::kSsd}) {

@@ -7,7 +7,9 @@
 //
 // Prints the trace's summary statistics (compare with the paper's published
 // characterisation), a job-size histogram, and the five performance metrics
-// for each of the paper's six strategy pairs.
+// for each of the paper's six strategy pairs. The replay itself streams:
+// run_once builds a workload::TraceSource and the simulator pulls one
+// arrival ahead, so traces far larger than memory replay fine.
 
 #include <cstdio>
 #include <cstring>

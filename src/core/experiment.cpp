@@ -5,6 +5,7 @@
 #include "alloc/registry.hpp"
 #include "sched/registry.hpp"
 #include "stats/parallel_replication.hpp"
+#include "workload/source_registry.hpp"
 #include "workload/swf.hpp"
 
 namespace procsim::core {
@@ -53,39 +54,64 @@ std::string ExperimentConfig::series_label() const {
   return allocator.label() + "(" + sched::to_string(scheduler) + ")";
 }
 
-std::vector<workload::Job> build_jobs(const WorkloadSpec& spec, const mesh::Geometry& geom,
-                                      std::int32_t packet_len, std::uint64_t seed) {
-  des::Xoshiro256SS rng(seed);
+std::unique_ptr<workload::Source> make_workload_source(const WorkloadSpec& spec,
+                                                       const mesh::Geometry& geom,
+                                                       std::int32_t packet_len) {
+  if (!spec.source_spec.empty()) {
+    workload::SourceOverrides overrides;
+    overrides.load = spec.load;
+    overrides.count = spec.job_count;
+    overrides.packet_len = packet_len;
+    return workload::make_source(spec.source_spec, geom, overrides);
+  }
   switch (spec.kind) {
     case WorkloadKind::kStochastic: {
       workload::StochasticParams p = spec.stochastic;
       p.packet_len = packet_len;
-      return workload::generate_stochastic(p, geom, spec.job_count, rng);
+      return std::make_unique<workload::StochasticSource>(
+          p, geom, spec.job_count, workload::to_string(p.side_dist));
     }
     case WorkloadKind::kTrace: {
-      std::vector<workload::TraceJob> trace =
-          spec.swf_path.empty()
-              ? workload::generate_paragon_trace(spec.paragon, rng)
-              : workload::load_swf_file(spec.swf_path, geom.nodes());
-      const workload::TraceStats st = workload::compute_stats(trace);
-      workload::TraceReplayParams rp = spec.replay;
-      if (spec.load > 0 && st.mean_interarrival > 0)
-        rp.arrival_factor = workload::arrival_factor_for_load(spec.load, st.mean_interarrival);
-      return workload::make_trace_jobs(trace, rp, geom, rng);
+      if (spec.swf_path.empty())
+        return std::make_unique<workload::TraceSource>(spec.paragon, spec.replay,
+                                                       spec.load, geom, "real");
+      return std::make_unique<workload::TraceSource>(
+          workload::load_swf_file(spec.swf_path, geom.nodes()), spec.replay,
+          spec.load, geom, "swf:" + spec.swf_path);
     }
   }
-  throw std::invalid_argument("build_jobs: bad workload kind");
+  throw std::invalid_argument("make_workload_source: bad workload kind");
+}
+
+std::vector<workload::Job> build_jobs(const WorkloadSpec& spec, const mesh::Geometry& geom,
+                                      std::int32_t packet_len, std::uint64_t seed) {
+  // An unbounded stream (stochastic job_count = 0) cannot be materialised;
+  // the eager contract has always been "0 jobs" for that configuration.
+  if (spec.source_spec.empty() && spec.kind == WorkloadKind::kStochastic &&
+      spec.job_count == 0)
+    return {};
+  const auto source = make_workload_source(spec, geom, packet_len);
+  if (!source->bounded())
+    throw std::invalid_argument(
+        "build_jobs: source '" + source->name() +
+        "' is unbounded and cannot be materialised; cap it with jobs=N");
+  source->reset(seed);
+  std::vector<workload::Job> jobs;
+  if (spec.job_count) jobs.reserve(spec.job_count);
+  while (auto job = source->next_job()) jobs.push_back(std::move(*job));
+  return jobs;
 }
 
 RunMetrics run_once(const ExperimentConfig& cfg) {
   const auto allocator = make_allocator(cfg.allocator, cfg.sys.geom, cfg.seed);
   const auto scheduler = core::make_scheduler(cfg.scheduler);
-  const std::vector<workload::Job> jobs =
-      build_jobs(cfg.workload, cfg.sys.geom, cfg.sys.net.packet_len, cfg.seed);
+  const auto source =
+      make_workload_source(cfg.workload, cfg.sys.geom, cfg.sys.net.packet_len);
+  source->reset(cfg.seed);
   SystemConfig sys = cfg.sys;
   sys.seed = cfg.seed ^ 0x5EEDF00DULL;
   SystemSim sim(sys, *allocator, *scheduler);
-  return sim.run(jobs);
+  return sim.run(*source);
 }
 
 std::map<std::string, double> to_observations(const RunMetrics& m) {

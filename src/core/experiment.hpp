@@ -14,6 +14,7 @@
 #include "stats/replication.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/paragon_model.hpp"
+#include "workload/source.hpp"
 #include "workload/stochastic.hpp"
 #include "workload/trace_replay.hpp"
 
@@ -56,6 +57,12 @@ struct WorkloadSpec {
   workload::TraceReplayParams replay{};
   std::string swf_path;  ///< when non-empty, load this instead of the model
   double load{0.01};     ///< offered load; sets replay.arrival_factor
+
+  /// When non-empty, a `workload::make_source` spec (e.g. "swf:trace.swf",
+  /// "saturation;n=5000", "bursty;b=8") that overrides `kind`; `load` and
+  /// `job_count` still act as driver-level overrides where the spec doesn't
+  /// pin them (`--loads` sweep axes, `--jobs`, `--fast`).
+  std::string source_spec;
 };
 
 /// One experiment point: machine + strategy pair + workload + seed.
@@ -69,7 +76,16 @@ struct ExperimentConfig {
   [[nodiscard]] std::string series_label() const;
 };
 
-/// Materialises the workload's job stream for one replication.
+/// Builds the streaming job source one replication runs against. The caller
+/// seeds it (`source->reset(seed)`) before handing it to SystemSim — the
+/// replication seed is `des::substream_seed(base, rep)`, so serial and
+/// threaded replication schedules see bit-identical streams.
+[[nodiscard]] std::unique_ptr<workload::Source> make_workload_source(
+    const WorkloadSpec& spec, const mesh::Geometry& geom, std::int32_t packet_len);
+
+/// Materialises the workload's job stream for one replication — a drain of
+/// `make_workload_source` kept for tests and tools that want the eager
+/// vector; the simulation path streams instead.
 [[nodiscard]] std::vector<workload::Job> build_jobs(const WorkloadSpec& spec,
                                                     const mesh::Geometry& geom,
                                                     std::int32_t packet_len,

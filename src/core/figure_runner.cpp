@@ -61,6 +61,21 @@ RunOptions parse_run_options(int argc, char** argv) {
 }
 
 void apply_effort(ExperimentConfig& cfg, const RunOptions& opts) {
+  if (!cfg.workload.source_spec.empty()) {
+    // Registry-spec workloads: job_count is the stream-length override the
+    // source registry consumes (spec-pinned keys still win).
+    if (opts.jobs) {
+      cfg.workload.job_count = opts.jobs;
+      cfg.sys.target_completions = opts.jobs;
+    }
+    if (opts.fast) {
+      cfg.workload.job_count =
+          cfg.workload.job_count ? std::min<std::size_t>(cfg.workload.job_count, 200) : 200;
+      cfg.sys.target_completions =
+          std::min<std::size_t>(cfg.sys.target_completions, 200);
+    }
+    return;
+  }
   if (cfg.workload.kind == WorkloadKind::kStochastic) {
     if (opts.jobs) {
       cfg.workload.job_count = opts.jobs;
@@ -86,7 +101,9 @@ void apply_effort(ExperimentConfig& cfg, const RunOptions& opts) {
 }
 
 void set_offered_load(ExperimentConfig& cfg, double load) {
-  if (cfg.workload.kind == WorkloadKind::kStochastic)
+  if (!cfg.workload.source_spec.empty())
+    cfg.workload.load = load;  // registry override; ignored by saturation
+  else if (cfg.workload.kind == WorkloadKind::kStochastic)
     cfg.workload.stochastic.load = load;
   else
     cfg.workload.load = load;

@@ -19,7 +19,11 @@ RunMetrics SystemSim::run(const std::vector<workload::Job>& jobs) {
                         return a.arrival < b.arrival;
                       }))
     throw std::invalid_argument("SystemSim::run: jobs must be sorted by arrival");
+  workload::VectorSource source(jobs);
+  return run(source);
+}
 
+RunMetrics SystemSim::run(workload::Source& source) {
   sim_.reset();
   allocator_.reset();
   scheduler_.clear();
@@ -34,10 +38,10 @@ RunMetrics SystemSim::run(const std::vector<workload::Job>& jobs) {
   net_ = std::make_unique<network::WormholeNetwork>(sim_, cfg_.geom, cfg_.net);
   net_->set_delivery_callback([this](const network::Delivery& d) { on_delivery(d); });
 
-  for (const workload::Job& job : jobs)
-    sim_.schedule_at(job.arrival, [this, &job] { on_arrival(job); });
-
+  source_ = &source;
+  pump_arrival();
   sim_.run(cfg_.max_events);
+  source_ = nullptr;
 
   const double end = sim_.now();
   metrics_.completed = completed_ >= cfg_.warmup_completions
@@ -51,7 +55,23 @@ RunMetrics SystemSim::run(const std::vector<workload::Job>& jobs) {
   return metrics_;
 }
 
-void SystemSim::on_arrival(const workload::Job& job) {
+void SystemSim::pump_arrival() {
+  const std::optional<double> next = source_->peek_arrival();
+  if (!next) return;
+  if (*next < sim_.now())
+    throw std::invalid_argument("SystemSim: source arrivals must be non-decreasing");
+  // The next arrival is scheduled *before* this one's side effects run (see
+  // the call site in the arrival event), preserving the event order of the
+  // historical schedule-all-arrivals-up-front implementation.
+  sim_.schedule_at(*next, [this] {
+    std::optional<workload::Job> job = source_->next_job();
+    if (!job) return;  // a source must not retract a peeked job; be lenient
+    pump_arrival();
+    on_arrival(std::move(*job));
+  });
+}
+
+void SystemSim::on_arrival(workload::Job job) {
   sched::QueuedJob q;
   q.job_id = job.id;
   q.arrival = job.arrival;
@@ -61,9 +81,11 @@ void SystemSim::on_arrival(const workload::Job& job) {
   scheduler_.enqueue(q);
   queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
 
+  const std::uint64_t id = job.id;
   RunningJob rj;
-  rj.job = &job;
-  running_.emplace(job.id, std::move(rj));  // queued; placement filled at start
+  rj.job = std::move(job);
+  if (!running_.emplace(id, std::move(rj)).second)  // queued; placed at start
+    throw std::invalid_argument("SystemSim: duplicate job id " + std::to_string(id));
   try_schedule();
 }
 
@@ -72,7 +94,7 @@ void SystemSim::try_schedule() {
     const auto it = running_.find(head->job_id);
     if (it == running_.end())
       throw std::logic_error("SystemSim: queued job without a record");
-    const workload::Job& job = *it->second.job;
+    const workload::Job& job = it->second.job;
     alloc::Request req{job.width, job.length, job.processors};
     auto placement = allocator_.allocate(req);
     if (!placement) break;  // blocking head-of-queue semantics (paper §4)
@@ -155,7 +177,7 @@ void SystemSim::complete_job(std::uint64_t job_id) {
   allocator_.release(rj.placement);
 
   if (measuring()) {
-    metrics_.turnaround.add(now - rj.job->arrival);
+    metrics_.turnaround.add(now - rj.job.arrival);
     metrics_.service.add(now - rj.start_time);
   }
   ++completed_;

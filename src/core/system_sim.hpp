@@ -15,6 +15,7 @@
 #include "stats/time_weighted.hpp"
 #include "stats/welford.hpp"
 #include "workload/job.hpp"
+#include "workload/source.hpp"
 
 namespace procsim::core {
 
@@ -59,9 +60,16 @@ class SystemSim {
  public:
   SystemSim(SystemConfig cfg, alloc::Allocator& allocator, sched::Scheduler& scheduler);
 
-  /// Runs the whole job stream (jobs must be sorted by arrival time).
-  /// The allocator and scheduler are reset first; metrics cover completions
-  /// after the warmup threshold.
+  /// Runs a streaming job source to exhaustion (or the completion target).
+  /// The source is reset-ready (caller calls source.reset(seed) first); jobs
+  /// are pulled one arrival ahead, so a stream never has to exist in memory
+  /// as a whole. The allocator and scheduler are reset first; metrics cover
+  /// completions after the warmup threshold. An unbounded source is stopped
+  /// by `target_completions` (or, as a last resort, `max_events`).
+  [[nodiscard]] RunMetrics run(workload::Source& source);
+
+  /// Convenience wrapper: streams an eager job vector (must be sorted by
+  /// arrival time) through the source path.
   [[nodiscard]] RunMetrics run(const std::vector<workload::Job>& jobs);
 
  private:
@@ -74,14 +82,16 @@ class SystemSim {
   };
 
   struct RunningJob {
-    const workload::Job* job{nullptr};
+    workload::Job job;  ///< owned: streamed jobs have no stable backing store
     alloc::Placement placement;
     double start_time{0};
     std::int64_t outstanding{0};  ///< packets not yet delivered (all sources)
     std::map<mesh::NodeId, SourceStream> streams;  // ordered => deterministic
   };
 
-  void on_arrival(const workload::Job& job);
+  /// Schedules the source's next arrival instant (if any).
+  void pump_arrival();
+  void on_arrival(workload::Job job);
   void try_schedule();
   void start_job(const workload::Job& job, alloc::Placement placement);
   void on_delivery(const network::Delivery& d);
@@ -96,6 +106,7 @@ class SystemSim {
 
   // Per-run state (rebuilt in run()).
   des::Simulator sim_;
+  workload::Source* source_{nullptr};  ///< the run's job stream (non-owning)
   std::unique_ptr<network::WormholeNetwork> net_;
   des::Xoshiro256SS rng_{1};
   std::unordered_map<std::uint64_t, RunningJob> running_;

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mesh/coord.hpp"
+#include "workload/source.hpp"
+
+namespace procsim::workload {
+
+/// A workload-source spec, parsed. Grammar (mirrors the alloc/sched
+/// registries' fail-fast name style, extended with options):
+///
+///   spec  := kind [":" arg] (";" key "=" value)*
+///   kind  := "uniform" | "exponential" | "real" | "swf" | "saturation"
+///            | "bursty"
+///
+/// `arg` is the SWF file path (required for, and exclusive to, "swf").
+/// Keys are kind-specific; unknown kinds/keys/values fail to parse:
+///   uniform|exponential : load, jobs, mes
+///   real                : load, jobs, f
+///   swf:<path>          : load, jobs, f
+///   saturation          : n, dist, mes
+///   bursty              : load, jobs, b, phase, dist, mes
+/// where `jobs` caps the stream length (trace kinds: replay prefix), `mes` is
+/// the mean message count, `f` pins the trace arrival factor (disabling the
+/// load-derived factor), `n` the saturation backlog size, `b` the burst
+/// ratio, `phase` the mean jobs per burst phase and `dist` a side
+/// distribution name (uniform | exponential).
+struct SourceSpec {
+  std::string kind;
+  std::string arg;                          ///< swf path, empty otherwise
+  std::map<std::string, std::string> params;
+  std::string canonical;                    ///< normalized spelling of the spec
+};
+
+/// Driver-level knobs applied where the spec does not pin them: an explicit
+/// spec key always wins over an override (a spec that says `load=0.02` means
+/// it, even on a `--loads` sweep axis). Zero means "not set".
+struct SourceOverrides {
+  double load{0};
+  std::size_t count{0};
+  std::int32_t packet_len{0};
+};
+
+/// Case-insensitive parse of a source spec; nullopt when the kind is unknown
+/// or the option syntax is malformed (key/value validation happens in
+/// make_source, which can report the offending kind).
+[[nodiscard]] std::optional<SourceSpec> parse_source_spec(std::string_view spec);
+
+/// The spec kinds make_source accepts ("swf" listed as "swf:<path>").
+[[nodiscard]] std::vector<std::string> known_sources();
+
+/// Spec-based factory for drivers and sweeps; guarantees
+/// make_source(spec, ...)->name() is itself an accepted spec. Throws
+/// std::invalid_argument (listing the known kinds) when `spec` doesn't parse
+/// or pins an unknown key / bad value, and std::runtime_error when an SWF
+/// file cannot be opened.
+[[nodiscard]] std::unique_ptr<Source> make_source(const std::string& spec,
+                                                  const mesh::Geometry& geom,
+                                                  const SourceOverrides& overrides = {});
+
+}  // namespace procsim::workload

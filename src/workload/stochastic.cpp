@@ -35,6 +35,24 @@ namespace {
 
 }  // namespace
 
+Job next_stochastic_job(const StochasticParams& params, const mesh::Geometry& geom,
+                        des::Xoshiro256SS& rng, double& t, std::uint64_t id) {
+  if (params.load <= 0) throw std::invalid_argument("next_stochastic_job: load must be > 0");
+  t += des::sample_exponential(rng, 1.0 / params.load);
+  Job job;
+  job.id = id;
+  job.arrival = t;
+  job.width = sample_side(rng, params.side_dist, geom.width());
+  job.length = sample_side(rng, params.side_dist, geom.length());
+  job.processors = job.width * job.length;
+  const std::int64_t messages = des::sample_exponential_count(rng, params.mean_messages);
+  job.message_plan =
+      network::generate_message_plan(params.pattern, job.processors, messages, rng);
+  job.demand =
+      static_cast<double>(job.total_messages()) * static_cast<double>(params.packet_len);
+  return job;
+}
+
 std::vector<Job> generate_stochastic(const StochasticParams& params,
                                      const mesh::Geometry& geom, std::size_t count,
                                      des::Xoshiro256SS& rng, double start,
@@ -43,21 +61,8 @@ std::vector<Job> generate_stochastic(const StochasticParams& params,
   std::vector<Job> jobs;
   jobs.reserve(count);
   double t = start;
-  for (std::size_t i = 0; i < count; ++i) {
-    t += des::sample_exponential(rng, 1.0 / params.load);
-    Job job;
-    job.id = first_id + i;
-    job.arrival = t;
-    job.width = sample_side(rng, params.side_dist, geom.width());
-    job.length = sample_side(rng, params.side_dist, geom.length());
-    job.processors = job.width * job.length;
-    const std::int64_t count = des::sample_exponential_count(rng, params.mean_messages);
-    job.message_plan =
-        network::generate_message_plan(params.pattern, job.processors, count, rng);
-    job.demand =
-        static_cast<double>(job.total_messages()) * static_cast<double>(params.packet_len);
-    jobs.push_back(std::move(job));
-  }
+  for (std::size_t i = 0; i < count; ++i)
+    jobs.push_back(next_stochastic_job(params, geom, rng, t, first_id + i));
   return jobs;
 }
 

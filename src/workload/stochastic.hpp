@@ -30,6 +30,15 @@ struct StochasticParams {
   network::TrafficPattern pattern{network::TrafficPattern::kAllToAll};
 };
 
+/// Samples the single next job of a stochastic stream: advances `t` by an
+/// exponential inter-arrival, then freezes shape, message plan and demand.
+/// `generate_stochastic` and the streaming `StochasticSource` both lower onto
+/// this, so the two paths draw the identical RNG sequence.
+[[nodiscard]] Job next_stochastic_job(const StochasticParams& params,
+                                      const mesh::Geometry& geom,
+                                      des::Xoshiro256SS& rng, double& t,
+                                      std::uint64_t id);
+
 /// Generates the next `count` jobs of a stochastic stream starting at time
 /// `start`. Each job's shape and message counts are frozen here; demand is
 /// the total flit count (what SSD can know before running the job).

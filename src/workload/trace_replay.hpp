@@ -35,8 +35,20 @@ struct TraceReplayParams {
 };
 
 /// Arrival factor that produces a given offered load (jobs per time unit)
-/// from a trace with the given mean inter-arrival time.
+/// from a trace with the given mean inter-arrival time. A degenerate trace
+/// (empty or single-job: zero, negative or NaN mean inter-arrival) yields the
+/// neutral factor 1.0 instead of dividing blindly; a non-positive `load` is a
+/// caller bug and still throws.
 [[nodiscard]] double arrival_factor_for_load(double load, double trace_mean_interarrival);
+
+/// Expands one trace record (the `index`-th of its stream) into a simulator
+/// job: scaled arrival, near-square shape from the processor count,
+/// runtime-driven message count, recorded runtime as the SSD demand key.
+/// `make_trace_jobs` and the streaming `TraceSource` both lower onto this,
+/// so the two paths draw the identical RNG sequence.
+[[nodiscard]] Job make_trace_job(const TraceJob& rec, std::uint64_t index,
+                                 const TraceReplayParams& params,
+                                 const mesh::Geometry& geom, des::Xoshiro256SS& rng);
 
 /// Expands trace records into simulator jobs: scaled arrivals, near-square
 /// shape from the processor count, runtime-driven message counts, and the

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include "des/rng.hpp"
 #include "mesh/coord.hpp"
@@ -245,6 +248,60 @@ TEST(Swf, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(Swf, ShortAndMalformedRecordsAreSkipped) {
+  std::istringstream in(
+      "; header\n"
+      "\n"
+      "1 0 5 100 16\n"          // exactly 5 fields: still a record
+      "2 10 3\n"                // short record: skipped
+      "garbage line here\n"     // non-numeric: skipped (no usable fields)
+      "3 20 5 100 8 -1 -1 8 100 -1 1 1 1 1 1 1 -1 -1\n");
+  const auto jobs = parse_swf(in);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].processors, 16);
+  EXPECT_EQ(jobs[1].processors, 8);
+}
+
+TEST(Swf, FiveFieldRecordFallsBackToUsedProcessors) {
+  // With no field 8 at all, size must come from field 5 (used processors).
+  std::istringstream in("1 0 5 60 9\n");
+  const auto jobs = parse_swf(in);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].processors, 9);
+  EXPECT_DOUBLE_EQ(jobs[0].runtime, 60);
+}
+
+TEST(Swf, NegativeRuntimeWithoutRequestedTimeIsSkipped) {
+  std::istringstream in(
+      "1 0 5 -1 8 -1 -1 8 -1 -1 1 1 1 1 1 1 -1 -1\n"   // no usable runtime
+      "2 5 5 -1 8 -1 -1 8 70 -1 1 1 1 1 1 1 -1 -1\n"); // req-time rescue
+  const auto jobs = parse_swf(in);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].runtime, 70);
+}
+
+TEST(Swf, MiniFixtureGoldenStats) {
+  // tests/data/mini.swf, filtered to a 352-node partition: jobs 5, 6 and 8
+  // are dropped by the parser, job 7 (400 procs) by the filter. Six survive
+  // with hand-computable statistics.
+  const auto jobs = procsim::workload::load_swf_file(
+      std::string(PROCSIM_TEST_DATA_DIR) + "/mini.swf", 352);
+  ASSERT_EQ(jobs.size(), 6u);
+  const auto stats = compute_stats(jobs);
+  EXPECT_EQ(stats.jobs, 6u);
+  EXPECT_DOUBLE_EQ(stats.mean_interarrival, 160.0);      // (800 - 0) / 5
+  EXPECT_NEAR(stats.mean_size, 98.0 / 6.0, 1e-12);       // 16+32+25+10+8+7
+  EXPECT_NEAR(stats.mean_runtime, 1225.0 / 6.0, 1e-12);  // 100+200+300+500+50+75
+  EXPECT_DOUBLE_EQ(stats.power_of_two_fraction, 0.5);    // 16, 32, 8 of six
+  EXPECT_EQ(stats.max_size, 32);
+
+  // Unfiltered, the 400-proc job survives too.
+  const auto all = procsim::workload::load_swf_file(
+      std::string(PROCSIM_TEST_DATA_DIR) + "/mini.swf");
+  EXPECT_EQ(all.size(), 7u);
+  EXPECT_EQ(compute_stats(all).max_size, 400);
+}
+
 TEST(Swf, StatsOnEmptyTrace) {
   const auto stats = compute_stats({});
   EXPECT_EQ(stats.jobs, 0u);
@@ -258,6 +315,20 @@ TEST(Replay, ArrivalFactorForLoad) {
   // f = 1 / (0.01 * 1186.7).
   EXPECT_NEAR(arrival_factor_for_load(0.01, 1186.7) * 1186.7, 100.0, 1e-9);
   EXPECT_THROW((void)arrival_factor_for_load(0, 10), std::invalid_argument);
+}
+
+TEST(Replay, ArrivalFactorDegenerateTraceFallsBackToNeutral) {
+  // Regression: an empty or single-job trace has no inter-arrival
+  // information (compute_stats reports 0; a pathological caller could even
+  // pass NaN). The factor must be the defined neutral 1.0, not a blind
+  // division.
+  EXPECT_DOUBLE_EQ(arrival_factor_for_load(0.01, 0), 1.0);
+  EXPECT_DOUBLE_EQ(arrival_factor_for_load(0.01, -5), 1.0);
+  EXPECT_DOUBLE_EQ(arrival_factor_for_load(0.01, std::nan("")), 1.0);
+  EXPECT_DOUBLE_EQ(
+      arrival_factor_for_load(0.01, std::numeric_limits<double>::infinity()), 1.0);
+  EXPECT_DOUBLE_EQ(arrival_factor_for_load(0.01, compute_stats({}).mean_interarrival),
+                   1.0);
 }
 
 TEST(Replay, ScalesArrivalsAndKeepsSizes) {
