@@ -3,7 +3,7 @@
 // metric — the scenarios the hardcoded figure binaries cannot express.
 //
 //   procsim_sweep [--mesh=16x22[,32x32,...]] [--alloc=GABL,Paging(0),MBS]
-//                 [--sched=FCFS,SSD]
+//                 [--sched=FCFS,SSD,SJF,LJF,lookahead:k,backfill]
 //                 [--workload=uniform|exponential|real|swf:<path>|saturation|
 //                            bursty[;key=value...]]
 //                 [--metric=turnaround|service|utilization|latency|blocking|
@@ -63,7 +63,7 @@ std::optional<mesh::Geometry> parse_mesh(const std::string& s) {
 [[noreturn]] void usage_error(const std::string& msg) {
   std::cerr << "procsim_sweep: " << msg << "\n"
             << "usage: procsim_sweep [--mesh=WxL[,WxL...]] [--alloc=A[,A...]]\n"
-            << "         [--sched=S[,S...]]\n"
+            << "         [--sched=S[,S...]]  (FCFS|SSD|SJF|LJF|lookahead:k|backfill)\n"
             << "         [--workload=uniform|exponential|real|swf:<path>|saturation|\n"
             << "                    bursty[;key=value...]]\n"
             << "         [--metric=M] [--loads=x[,x...]]\n"
@@ -202,7 +202,7 @@ int main(int argc, char** argv) {
   // fast with the known-name list.
   struct SweepSeries {
     core::AllocatorSpec alloc;
-    sched::Policy policy;
+    sched::SchedSpec sched;
     std::string label;
   };
   std::vector<SweepSeries> series;
@@ -211,15 +211,17 @@ int main(int argc, char** argv) {
   if (alloc_names.empty() || sched_names.empty())
     usage_error("need at least one allocator and one scheduler");
   for (const std::string& sn : sched_names) {
-    const auto policy = sched::parse_policy(sn);
-    if (!policy) usage_error("unknown scheduler '" + sn + "'");
+    const auto sspec = sched::parse_sched_spec(sn);
+    if (!sspec)
+      usage_error("unknown scheduler '" + sn +
+                  "' (known: " + sched::known_scheduler_list() + ")");
     for (const std::string& an : alloc_names) {
       const auto spec = core::parse_allocator_spec(an);
       if (!spec) usage_error("unknown allocator '" + an + "'");
       core::ExperimentConfig labelled = base;
       labelled.allocator = *spec;
-      labelled.scheduler = *policy;
-      series.push_back(SweepSeries{*spec, *policy, labelled.series_label()});
+      labelled.scheduler = *sspec;
+      series.push_back(SweepSeries{*spec, *sspec, labelled.series_label()});
     }
   }
 
@@ -236,7 +238,7 @@ int main(int argc, char** argv) {
     core::ExperimentConfig cfg = base;
     cfg.sys.geom = geom;
     cfg.allocator = s.alloc;
-    cfg.scheduler = s.policy;
+    cfg.scheduler = s.sched;
     core::set_offered_load(cfg, load);
     core::apply_effort(cfg, opts);
     return cfg;

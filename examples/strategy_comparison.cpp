@@ -6,30 +6,55 @@
 // baselines pay instead with queueing (turnaround) through external
 // fragmentation.
 //
-//   ./strategy_comparison [--jobs=N] [--seed=N] [--workload=SPEC]
+//   ./strategy_comparison [--jobs=N] [--seed=N] [--workload=SPEC] [--sched=LIST]
 //
 // --workload takes any workload::make_source spec (the same grammar as
 // `procsim_sweep --workload=`): e.g. "bursty;b=8", "saturation;n=2000",
 // "swf:trace.swf" — the whole table then compares the strategies under that
-// stream instead of the default uniform stochastic one.
+// stream instead of the default uniform stochastic one. --sched takes a
+// comma list of scheduler registry specs (default FCFS,SSD; also
+// SJF, LJF, lookahead:k, backfill), one table block per policy.
 
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/figure_runner.hpp"
+#include "sched/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace procsim;
   std::string workload_spec;
+  std::string sched_arg = "FCFS,SSD";
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workload=", 11) == 0)
       workload_spec = argv[i] + 11;
+    else if (std::strncmp(argv[i], "--sched=", 8) == 0)
+      sched_arg = argv[i] + 8;
     else
       passthrough.push_back(argv[i]);
+  }
+  std::vector<sched::SchedSpec> policies;
+  {
+    std::istringstream in(sched_arg);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      if (token.empty()) continue;
+      const auto spec = sched::parse_sched_spec(token);
+      if (!spec) {
+        std::fprintf(stderr, "unknown scheduler %s\n", token.c_str());
+        return 1;
+      }
+      policies.push_back(*spec);
+    }
+  }
+  if (policies.empty()) {
+    std::fprintf(stderr, "--sched needs at least one policy\n");
+    return 1;
   }
   const core::RunOptions opts = core::parse_run_options(
       static_cast<int>(passthrough.size()), passthrough.data());
@@ -54,7 +79,7 @@ int main(int argc, char** argv) {
                                     : workload_spec.c_str());
   std::printf("%-16s %12s %12s %8s %8s %10s %10s\n", "strategy", "turnaround",
               "service", "util", "hops", "latency", "blocking");
-  for (const auto policy : {sched::Policy::kFcfs, sched::Policy::kSsd}) {
+  for (const auto& policy : policies) {
     for (const char* name : names) {
       const auto spec = core::parse_allocator_spec(name);
       if (!spec) {

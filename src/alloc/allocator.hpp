@@ -59,6 +59,14 @@ class Allocator {
   /// Attempts to place `req` now; nullopt means the request must wait.
   [[nodiscard]] virtual std::optional<Placement> allocate(const Request& req) = 0;
 
+  /// The scheduler's transactional probe: true iff allocate(req) would
+  /// return a placement at this instant. Exact for every shipped strategy
+  /// and side-effect free — non-contiguous strategies answer from the free
+  /// count, the contiguous baselines from one occupancy-index fit query —
+  /// so a scheduling pass may probe many queued jobs without perturbing
+  /// allocator state (Random's RNG included).
+  [[nodiscard]] virtual bool can_allocate(const Request& req) const = 0;
+
   /// Returns a placement obtained from allocate() on this allocator.
   virtual void release(const Placement& placement) = 0;
 

@@ -25,6 +25,16 @@ std::optional<Placement> ContiguousAllocator::allocate(const Request& req) {
   return placement;
 }
 
+bool ContiguousAllocator::can_allocate(const Request& req) const {
+  validate_request(req, geometry());
+  const std::int32_t a = std::min(req.width, geometry().width());
+  const std::int32_t b = std::min(req.length, geometry().length());
+  // Feasibility is rotation-symmetric and policy-independent: a best-fit
+  // placement exists iff a first-fit one does, so the cheaper query answers
+  // for both policies.
+  return index().first_fit_rotatable(a, b).has_value();
+}
+
 void ContiguousAllocator::release(const Placement& placement) {
   for (const mesh::SubMesh& blk : placement.blocks) vacate(blk);
 }

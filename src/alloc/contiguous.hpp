@@ -20,6 +20,7 @@ class ContiguousAllocator final : public Allocator {
       : Allocator(geom), policy_(policy) {}
 
   [[nodiscard]] std::optional<Placement> allocate(const Request& req) override;
+  [[nodiscard]] bool can_allocate(const Request& req) const override;
   void release(const Placement& placement) override;
   [[nodiscard]] std::string name() const override {
     return policy_ == ContiguousPolicy::kFirstFit ? "FirstFit" : "BestFit";

@@ -68,17 +68,33 @@ std::optional<Placement> GablAllocator::allocate(const Request& req) {
     prev_l = piece.length();
   }
 
-  busy_list_.insert(busy_list_.end(), placement.blocks.begin(), placement.blocks.end());
+  for (const mesh::SubMesh& blk : placement.blocks) {
+    busy_slot_.emplace(blk, busy_list_.size());
+    busy_list_.push_back(blk);
+  }
   finalize_placement(placement, geometry(), req.processors);
   return placement;
 }
 
+bool GablAllocator::can_allocate(const Request& req) const {
+  validate_request(req, geometry());
+  // Greedy carving succeeds iff enough processors are free, full stop —
+  // the defining property of the strategy.
+  return free_processors() >= static_cast<std::int64_t>(req.width) * req.length;
+}
+
 void GablAllocator::release(const Placement& placement) {
   for (const mesh::SubMesh& blk : placement.blocks) {
-    const auto it = std::find(busy_list_.begin(), busy_list_.end(), blk);
-    if (it == busy_list_.end())
+    const auto it = busy_slot_.find(blk);
+    if (it == busy_slot_.end())
       throw std::logic_error("GablAllocator: releasing a block not in the busy list");
-    busy_list_.erase(it);
+    const std::size_t slot = it->second;
+    busy_slot_.erase(it);
+    if (slot + 1 != busy_list_.size()) {
+      busy_list_[slot] = busy_list_.back();
+      busy_slot_[busy_list_[slot]] = slot;
+    }
+    busy_list_.pop_back();
     vacate(blk);
   }
 }
@@ -86,6 +102,7 @@ void GablAllocator::release(const Placement& placement) {
 void GablAllocator::reset() {
   Allocator::reset();
   busy_list_.clear();
+  busy_slot_.clear();
 }
 
 }  // namespace procsim::alloc

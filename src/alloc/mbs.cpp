@@ -73,6 +73,13 @@ std::optional<Placement> MbsAllocator::allocate(const Request& req) {
   return placement;
 }
 
+bool MbsAllocator::can_allocate(const Request& req) const {
+  validate_request(req, geometry());
+  // Buddy splitting reaches single nodes, so MBS succeeds whenever p
+  // processors are free regardless of their arrangement.
+  return free_processors() >= req.processors;
+}
+
 void MbsAllocator::release(const Placement& placement) {
   for (const std::int32_t tag : placement.tags) tiling_.release_block(tag);
   for (const mesh::SubMesh& b : placement.blocks) vacate(b);

@@ -25,6 +25,7 @@ class MbsAllocator final : public Allocator {
   explicit MbsAllocator(mesh::Geometry geom);
 
   [[nodiscard]] std::optional<Placement> allocate(const Request& req) override;
+  [[nodiscard]] bool can_allocate(const Request& req) const override;
   void release(const Placement& placement) override;
   [[nodiscard]] std::string name() const override { return "MBS"; }
   [[nodiscard]] bool is_noncontiguous() const override { return true; }

@@ -41,6 +41,13 @@ std::optional<Placement> PagingAllocator::allocate(const Request& req) {
   return placement;
 }
 
+bool PagingAllocator::can_allocate(const Request& req) const {
+  validate_request(req, geometry());
+  // Pages are whole allocation units, so the free processor count equals the
+  // free pages' capacity: the same guard allocate() uses.
+  return free_processors() >= req.processors;
+}
+
 void PagingAllocator::release(const Placement& placement) {
   for (const std::int32_t tag : placement.tags) {
     page_busy_.at(static_cast<std::size_t>(tag)) = 0;

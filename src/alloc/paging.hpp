@@ -18,6 +18,7 @@ class PagingAllocator final : public Allocator {
                   mesh::PageIndexing indexing = mesh::PageIndexing::kRowMajor);
 
   [[nodiscard]] std::optional<Placement> allocate(const Request& req) override;
+  [[nodiscard]] bool can_allocate(const Request& req) const override;
   void release(const Placement& placement) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] bool is_noncontiguous() const override { return true; }

@@ -27,6 +27,13 @@ std::optional<Placement> RandomAllocator::allocate(const Request& req) {
   return placement;
 }
 
+bool RandomAllocator::can_allocate(const Request& req) const {
+  validate_request(req, geometry());
+  // Any p free nodes do; crucially this draws nothing from rng_, so probing
+  // leaves the strategy's placement sequence untouched.
+  return free_processors() >= req.processors;
+}
+
 void RandomAllocator::release(const Placement& placement) {
   for (const mesh::SubMesh& blk : placement.blocks) vacate(blk);
 }

@@ -17,6 +17,7 @@ class RandomAllocator final : public Allocator {
       : Allocator(geom), rng_(seed) {}
 
   [[nodiscard]] std::optional<Placement> allocate(const Request& req) override;
+  [[nodiscard]] bool can_allocate(const Request& req) const override;
   void release(const Placement& placement) override;
   [[nodiscard]] std::string name() const override { return "Random"; }
   [[nodiscard]] bool is_noncontiguous() const override { return true; }

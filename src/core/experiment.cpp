@@ -30,8 +30,8 @@ std::unique_ptr<alloc::Allocator> make_allocator(const AllocatorSpec& spec,
   return alloc::make_allocator(spec.label(), geom, params);
 }
 
-std::unique_ptr<sched::Scheduler> make_scheduler(sched::Policy policy) {
-  return sched::make_scheduler(policy);
+std::unique_ptr<sched::Scheduler> make_scheduler(const sched::SchedSpec& spec) {
+  return sched::make_scheduler(spec);
 }
 
 std::optional<AllocatorSpec> parse_allocator_spec(const std::string& name) {
@@ -51,7 +51,7 @@ std::optional<AllocatorSpec> parse_allocator_spec(const std::string& name) {
 }
 
 std::string ExperimentConfig::series_label() const {
-  return allocator.label() + "(" + sched::to_string(scheduler) + ")";
+  return allocator.label() + "(" + scheduler.name() + ")";
 }
 
 std::unique_ptr<workload::Source> make_workload_source(const WorkloadSpec& spec,
@@ -75,8 +75,9 @@ std::unique_ptr<workload::Source> make_workload_source(const WorkloadSpec& spec,
       if (spec.swf_path.empty())
         return std::make_unique<workload::TraceSource>(spec.paragon, spec.replay,
                                                        spec.load, geom, "real");
+      // Shared parse: replications alias one immutable record vector.
       return std::make_unique<workload::TraceSource>(
-          workload::load_swf_file(spec.swf_path, geom.nodes()), spec.replay,
+          workload::load_swf_file_shared(spec.swf_path, geom.nodes()), spec.replay,
           spec.load, geom, "swf:" + spec.swf_path);
     }
   }

@@ -10,7 +10,7 @@
 #include "alloc/allocator.hpp"
 #include "core/system_sim.hpp"
 #include "mesh/page_table.hpp"
-#include "sched/ordered_scheduler.hpp"
+#include "sched/registry.hpp"
 #include "stats/replication.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/paragon_model.hpp"
@@ -36,7 +36,10 @@ struct AllocatorSpec {
 [[nodiscard]] std::unique_ptr<alloc::Allocator> make_allocator(const AllocatorSpec& spec,
                                                                mesh::Geometry geom,
                                                                std::uint64_t seed);
-[[nodiscard]] std::unique_ptr<sched::Scheduler> make_scheduler(sched::Policy policy);
+/// sched::Policy converts implicitly, so both the paper's ordered policies
+/// and the registry specs (lookahead:k, backfill) resolve here.
+[[nodiscard]] std::unique_ptr<sched::Scheduler> make_scheduler(
+    const sched::SchedSpec& spec);
 
 /// Registry-name -> AllocatorSpec (case-insensitive, "Paging(k)" parsed);
 /// nullopt for unknown names. Inverse of AllocatorSpec::label().
@@ -69,7 +72,7 @@ struct WorkloadSpec {
 struct ExperimentConfig {
   SystemConfig sys{};
   AllocatorSpec allocator{};
-  sched::Policy scheduler{sched::Policy::kFcfs};
+  sched::SchedSpec scheduler{};  ///< canonical registry spec; default FCFS
   WorkloadSpec workload{};
   std::uint64_t seed{1};
 

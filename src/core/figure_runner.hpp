@@ -14,7 +14,7 @@ namespace procsim::core {
 /// One strategy pair plotted as a series in a paper figure.
 struct Series {
   AllocatorSpec allocator;
-  sched::Policy scheduler;
+  sched::SchedSpec scheduler;  ///< Policy converts implicitly; specs welcome
 };
 
 /// The six series every main figure of the paper plots:

@@ -77,6 +77,7 @@ void SystemSim::on_arrival(workload::Job job) {
   q.arrival = job.arrival;
   q.demand = job.demand;
   q.area = static_cast<std::int64_t>(job.width) * job.length;
+  q.processors = job.processors;
   q.seq = seq_++;
   scheduler_.enqueue(q);
   queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
@@ -89,16 +90,38 @@ void SystemSim::on_arrival(workload::Job job) {
   try_schedule();
 }
 
+const workload::Job& SystemSim::queued_job(std::uint64_t job_id) const {
+  const auto it = running_.find(job_id);
+  if (it == running_.end())
+    throw std::logic_error("SystemSim: queued job without a record");
+  return it->second.job;
+}
+
 void SystemSim::try_schedule() {
-  while (auto head = scheduler_.head()) {
-    const auto it = running_.find(head->job_id);
-    if (it == running_.end())
-      throw std::logic_error("SystemSim: queued job without a record");
-    const workload::Job& job = it->second.job;
+  // One transactional scheduling pass. Each step the discipline nominates a
+  // queue position (probing the allocatability of non-head jobs if it wants
+  // to — can_allocate answers from the occupancy index without committing
+  // anything), the simulator attempts the real allocation, and on success
+  // removes the job and starts it. The pass ends when the discipline has no
+  // candidate or an attempt fails — for the ordered disciplines, which
+  // always nominate the head and never probe, that failed attempt is
+  // exactly the paper's blocking head-of-queue semantics (§4).
+  const sched::AllocProbe probe = [this](const sched::QueuedJob& q) {
+    const workload::Job& job = queued_job(q.job_id);
+    return allocator_.can_allocate(alloc::Request{job.width, job.length, job.processors});
+  };
+  for (;;) {
+    const sched::SchedSnapshot snap{sim_.now(),
+                                    static_cast<std::int64_t>(allocator_.free_processors())};
+    const auto pos = scheduler_.select(probe, snap);
+    if (!pos) break;
+    const sched::QueuedJob candidate = scheduler_.job_at(*pos);
+    const workload::Job& job = queued_job(candidate.job_id);
     alloc::Request req{job.width, job.length, job.processors};
     auto placement = allocator_.allocate(req);
-    if (!placement) break;  // blocking head-of-queue semantics (paper §4)
-    scheduler_.pop_head();
+    if (!placement) break;  // blocking semantics / a stale probe ends the pass
+    const sched::QueuedJob taken = scheduler_.take(*pos);
+    scheduler_.on_start(taken, sim_.now(), placement->allocated);
     queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
     start_job(job, std::move(*placement));
   }
@@ -175,6 +198,7 @@ void SystemSim::complete_job(std::uint64_t job_id) {
 
   busy_procs_.add(now, -static_cast<double>(rj.placement.allocated));
   allocator_.release(rj.placement);
+  scheduler_.on_complete(job_id, now);
 
   if (measuring()) {
     metrics_.turnaround.add(now - rj.job.arrival);

@@ -51,9 +51,9 @@ struct RunMetrics {
 /// Couples scheduler, allocator, wormhole network and a job stream into one
 /// discrete-event simulation (the ProcSimity role).
 ///
-/// Lifecycle of a job: arrival -> queue -> (scheduler head + allocator
-/// success) -> processors held, packets injected -> last delivery ->
-/// processors released, next scheduling round. A job's service time is an
+/// Lifecycle of a job: arrival -> queue -> (scheduling pass nominates it +
+/// allocator success) -> processors held, packets injected -> last delivery
+/// -> processors released, next scheduling round. A job's service time is an
 /// *output*: the time its communication takes under the contention its
 /// placement creates.
 class SystemSim {
@@ -92,6 +92,9 @@ class SystemSim {
   /// Schedules the source's next arrival instant (if any).
   void pump_arrival();
   void on_arrival(workload::Job job);
+  /// The waiting job behind a queue entry; throws if the record is missing.
+  [[nodiscard]] const workload::Job& queued_job(std::uint64_t job_id) const;
+  /// One transactional scheduling pass (see Scheduler::select).
   void try_schedule();
   void start_job(const workload::Job& job, alloc::Placement placement);
   void on_delivery(const network::Delivery& d);

@@ -35,12 +35,17 @@ void and_shr(std::uint64_t* r, std::size_t words, std::int32_t t) {
   }
 }
 
-/// In-place right shift by one bit over a multi-word span.
-void shr1(std::uint64_t* r, std::size_t words) {
+/// dst = src >> t over a multi-word little-endian bit span (dst != src ok,
+/// dst == src ok: position i only reads indices >= i).
+void shr_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t words,
+              std::int32_t t) {
+  const std::size_t word_off = static_cast<std::size_t>(t) / 64;
+  const int bit_off = t % 64;
   for (std::size_t i = 0; i < words; ++i) {
-    std::uint64_t v = r[i] >> 1;
-    if (i + 1 < words) v |= r[i + 1] << 63;
-    r[i] = v;
+    const std::size_t j = i + word_off;
+    std::uint64_t v = j < words ? src[j] >> bit_off : 0;
+    if (bit_off != 0 && j + 1 < words) v |= src[j + 1] << (64 - bit_off);
+    dst[i] = v;
   }
 }
 
@@ -80,7 +85,8 @@ OccupancyIndex::OccupancyIndex(Geometry geom)
                      ? ~std::uint64_t{0}
                      : (std::uint64_t{1} << (geom.width() % 64)) - 1),
       free_(static_cast<std::size_t>(geom.length()) * words_, 0),
-      free_count_(geom.nodes()) {
+      free_count_(geom.nodes()),
+      row_gen_(static_cast<std::size_t>(geom.length()), 0) {
   clear();
 }
 
@@ -89,6 +95,7 @@ void OccupancyIndex::clear() {
     std::uint64_t* r = row(y);
     for (std::size_t i = 0; i < words_; ++i) r[i] = ~std::uint64_t{0};
     r[words_ - 1] = tail_mask_;
+    dirty_row(y);
   }
   free_count_ = geom_.nodes();
 }
@@ -117,6 +124,7 @@ void OccupancyIndex::allocate(const SubMesh& s) {
         throw std::logic_error("OccupancyIndex: double allocation of node");
       r[w] &= ~m;
     }
+    dirty_row(y);
   }
   free_count_ -= s.area();
 }
@@ -134,6 +142,7 @@ void OccupancyIndex::release(const SubMesh& s) {
         throw std::logic_error("OccupancyIndex: releasing a free node");
       r[w] |= m;
     }
+    dirty_row(y);
   }
   free_count_ += s.area();
 }
@@ -293,6 +302,43 @@ std::optional<SubMesh> OccupancyIndex::best_fit_impl(std::int32_t a,
   return best;
 }
 
+const std::uint64_t* OccupancyIndex::ensure_lf_level(std::int32_t w) const {
+  const std::size_t li = static_cast<std::size_t>(w) - 1;
+  if (lf_levels_.size() <= li) {
+    lf_levels_.resize(li + 1);
+    lf_level_gen_.resize(li + 1);
+    lf_level_nz_.resize(li + 1);
+  }
+  std::vector<std::uint64_t>& block = lf_levels_[li];
+  std::vector<std::uint64_t>& gens = lf_level_gen_[li];
+  std::vector<std::uint8_t>& nz = lf_level_nz_[li];
+  if (block.empty()) {
+    block.assign(free_.size(), 0);
+    gens.assign(static_cast<std::size_t>(geom_.length()), 0);  // 0 = never valid
+    nz.assign(static_cast<std::size_t>(geom_.length()), 0);
+  }
+  const std::uint64_t* prev = li == 0 ? nullptr : lf_levels_[li - 1].data();
+  for (std::int32_t y = 0; y < geom_.length(); ++y) {
+    const std::size_t yi = static_cast<std::size_t>(y);
+    if (gens[yi] == row_gen_[yi]) continue;
+    std::uint64_t* dst = block.data() + yi * words_;
+    const std::uint64_t* src = row(y);
+    std::uint64_t any = 0;
+    if (w == 1) {
+      for (std::size_t i = 0; i < words_; ++i) any |= (dst[i] = src[i]);
+    } else {
+      // R_w[y] = R_{w-1}[y] & (row >> (w-1)): a run of w starts at x iff a
+      // run of w-1 does and bit x+w-1 is also free.
+      shr_into(dst, src, words_, w - 1);
+      const std::uint64_t* p = prev + yi * words_;
+      for (std::size_t i = 0; i < words_; ++i) any |= (dst[i] &= p[i]);
+    }
+    nz[yi] = any != 0;
+    gens[yi] = row_gen_[yi];
+  }
+  return block.data();
+}
+
 std::optional<SubMesh> OccupancyIndex::largest_free_impl(std::int32_t max_w,
                                                          std::int32_t max_l,
                                                          std::int64_t max_area) const {
@@ -300,56 +346,59 @@ std::optional<SubMesh> OccupancyIndex::largest_free_impl(std::int32_t max_w,
   max_l = std::min(max_l, geom_.length());
   if (max_w <= 0 || max_l <= 0 || max_area <= 0) return std::nullopt;
   const std::int32_t L = geom_.length();
+  const std::size_t row_words = free_.size();
 
-  // runs_ holds R_w (width-w run starts) and is maintained incrementally
-  // across w via R_w = R_{w-1} & (row >> (w-1)); lf_s_ carries the shifted
-  // rows, lf_c_ the height-l window AND within each w.
-  runs_ = free_;
-  lf_s_ = free_;
-  lf_c_.resize(free_.size());
+  // The search ascends widths; each level's R_w masks (width-w run starts
+  // per row) come from the generation-stamped cache, so a carving loop's
+  // repeated queries recompute only the rows its own allocations dirtied.
+  // lf_c_ holds the height-l window AND within each w, as before.
+  lf_c_.resize(row_words);
 
   std::optional<SubMesh> best;
   std::int64_t best_area = 0;
   for (std::int32_t w = 1; w <= max_w; ++w) {
-    bool any_run = false;
-    if (w > 1) {
-      for (std::int32_t y = 0; y < L; ++y)
-        shr1(lf_s_.data() + static_cast<std::size_t>(y) * words_, words_);
-      for (std::size_t i = 0; i < runs_.size(); ++i)
-        any_run |= (runs_[i] &= lf_s_[i]) != 0;
-    } else {
-      for (std::size_t i = 0; i < runs_.size(); ++i) any_run |= runs_[i] != 0;
-    }
-    if (!any_run) break;  // no width-w free run anywhere ⇒ none wider either
+    const std::uint64_t* level = ensure_lf_level(w);
 
-    std::copy(runs_.begin(), runs_.end(), lf_c_.begin());
+    // Seed the height-1 windows and the active-row list from the level's
+    // cached nonzero flags: only rows that actually hold a width-w run are
+    // copied or ever touched again. Rows whose window has gone empty can
+    // never come back as l grows, so each taller step touches only the
+    // surviving rows — on a busy mesh windows die fast and the l ascent
+    // costs next to nothing. The list is kept in ascending y, so its front
+    // is the legacy scan's "first base" row.
+    lf_active_.clear();
+    const std::vector<std::uint8_t>& nz = lf_level_nz_[static_cast<std::size_t>(w) - 1];
+    for (std::int32_t y = 0; y < L; ++y) {
+      if (!nz[static_cast<std::size_t>(y)]) continue;
+      const std::uint64_t* src = level + static_cast<std::size_t>(y) * words_;
+      std::uint64_t* dst = lf_c_.data() + static_cast<std::size_t>(y) * words_;
+      std::copy(src, src + words_, dst);
+      lf_active_.push_back(y);
+    }
+    if (lf_active_.empty()) break;  // no width-w free run ⇒ none wider either
+
     for (std::int32_t l = 1; l <= max_l; ++l) {
-      bool any_window = false;
       if (l > 1) {
-        for (std::int32_t y = 0; y + l <= L; ++y) {
+        std::size_t out = 0;
+        for (const std::int32_t y : lf_active_) {
+          if (y + l > L) continue;  // window would stick out the bottom
           std::uint64_t* c = lf_c_.data() + static_cast<std::size_t>(y) * words_;
-          const std::uint64_t* r =
-              runs_.data() + static_cast<std::size_t>(y + l - 1) * words_;
-          for (std::size_t i = 0; i < words_; ++i) any_window |= (c[i] &= r[i]) != 0;
+          const std::uint64_t* r = level + static_cast<std::size_t>(y + l - 1) * words_;
+          bool nonzero = false;
+          for (std::size_t i = 0; i < words_; ++i) nonzero |= (c[i] &= r[i]) != 0;
+          if (nonzero) lf_active_[out++] = y;
         }
-      } else {
-        for (std::size_t i = 0; i < lf_c_.size(); ++i) any_window |= lf_c_[i] != 0;
+        lf_active_.resize(out);
       }
-      if (!any_window) break;  // taller windows only lose candidates
+      if (lf_active_.empty()) break;  // taller windows only lose candidates
 
       const std::int64_t area = static_cast<std::int64_t>(w) * l;
       if (area > max_area) break;     // area grows with l for fixed w
       if (area <= best_area) continue;  // same skip rule as the legacy scan
-      for (std::int32_t y = 0; y + l <= L; ++y) {
-        const std::uint64_t* c = lf_c_.data() + static_cast<std::size_t>(y) * words_;
-        bool nonzero = false;
-        for (std::size_t i = 0; i < words_ && !nonzero; ++i) nonzero = c[i] != 0;
-        if (nonzero) {
-          best = SubMesh::from_base(Coord{lowest_bit(c, words_), y}, w, l);
-          best_area = area;
-          break;
-        }
-      }
+      const std::int32_t y = lf_active_.front();
+      const std::uint64_t* c = lf_c_.data() + static_cast<std::size_t>(y) * words_;
+      best = SubMesh::from_base(Coord{lowest_bit(c, words_), y}, w, l);
+      best_area = area;
     }
   }
   return best;

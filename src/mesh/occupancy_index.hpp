@@ -76,6 +76,15 @@ class OccupancyIndex {
   /// Largest-area free sub-mesh with width <= max_w, length <= max_l and
   /// optionally area <= max_area; ties resolve to the first candidate in
   /// deterministic (width, length, base) scan order (GABL's inner search).
+  ///
+  /// The per-row width-w run masks the search ascends through are cached
+  /// with per-row generation stamps: a repeat query — GABL's carving loop
+  /// issues one largest_free per carved piece, each dirtying only the
+  /// piece's rows — recomputes masks only for rows whose occupancy changed
+  /// since they were last stamped, instead of rebuilding every level from
+  /// the whole bitmap. Answers are bit-identical either way (a cached row
+  /// is a pure function of the row's free bits; the cross-check oracle and
+  /// the randomized equivalence test both cover the cached path).
   [[nodiscard]] std::optional<SubMesh> largest_free(
       std::int32_t max_w, std::int32_t max_l,
       std::int64_t max_area = std::numeric_limits<std::int64_t>::max()) const;
@@ -115,17 +124,34 @@ class OccupancyIndex {
                                                          std::int32_t max_l,
                                                          std::int64_t max_area) const;
 
+  /// Validates the cached width-`w` run-mask block (recomputing only rows
+  /// whose generation stamp is stale) and returns it. Levels must be
+  /// ensured in ascending w within one query — level w derives from level
+  /// w-1 — which largest_free_impl's ascent guarantees.
+  [[nodiscard]] const std::uint64_t* ensure_lf_level(std::int32_t w) const;
+
+  /// Marks row `y`'s cached run masks stale (occupancy changed).
+  void dirty_row(std::int32_t y) { row_gen_[static_cast<std::size_t>(y)] = ++gen_counter_; }
+
   Geometry geom_;
   std::size_t words_;             ///< 64-bit words per row
   std::uint64_t tail_mask_;       ///< valid bits of the last word of a row
   std::vector<std::uint64_t> free_;  ///< length() * words_, bit = 1 ⇒ free
   std::int32_t free_count_;
 
+  // Run-mask cache generations: row_gen_[y] advances on every occupancy
+  // change touching row y; a cached row is valid iff its stamp matches.
+  std::vector<std::uint64_t> row_gen_;  ///< per-row occupancy generation
+  std::uint64_t gen_counter_{0};
+
   // Query scratch, reused across calls (see class comment on thread-safety).
   mutable std::vector<std::uint64_t> runs_;  ///< per-row run-start masks
   mutable std::vector<std::uint64_t> win_;   ///< height-b window AND
-  mutable std::vector<std::uint64_t> lf_s_;  ///< largest_free: shifted rows
   mutable std::vector<std::uint64_t> lf_c_;  ///< largest_free: window AND
+  mutable std::vector<std::int32_t> lf_active_;  ///< rows with live windows
+  mutable std::vector<std::vector<std::uint64_t>> lf_levels_;    ///< R_w blocks
+  mutable std::vector<std::vector<std::uint64_t>> lf_level_gen_; ///< stamps
+  mutable std::vector<std::vector<std::uint8_t>> lf_level_nz_;   ///< row has runs?
   mutable std::vector<std::int32_t> colf_;   ///< best_fit: free count per column
   mutable std::vector<std::int32_t> colp_;   ///< best_fit: prefix sums of colf_
 };

@@ -1,0 +1,67 @@
+#include "sched/backfill.hpp"
+
+#include <limits>
+
+namespace procsim::sched {
+
+std::optional<std::size_t> BackfillScheduler::select(const AllocProbe& probe,
+                                                     const SchedSnapshot& snap) {
+  if (empty()) return std::nullopt;
+  const QueuedJob head = job_at(0);
+  if (probe(head)) return 0;
+
+  // The head is blocked: place its reservation. Walk the running jobs in
+  // estimated-finish order accumulating released processors until the head's
+  // request is covered; that instant is the shadow time, and whatever exceeds
+  // the head's need there is the backfill slack ("extra" processors).
+  double shadow = snap.now;
+  std::int64_t avail = snap.free_processors;
+  const std::int64_t head_need = head.processors;
+  bool reachable = avail >= head_need;
+  if (!reachable) {
+    for (const Running& r : running_) {  // ordered by (finish_estimate, id)
+      avail += r.allocated;
+      shadow = r.finish_estimate;
+      if (avail >= head_need) {
+        reachable = true;
+        break;
+      }
+    }
+  }
+  // When even draining every running job cannot seat the head, there is no
+  // reservation to protect — plain first-fit backfill applies.
+  const std::int64_t extra =
+      reachable ? avail - head_need : std::numeric_limits<std::int64_t>::max();
+
+  for (std::size_t i = 1; i < size(); ++i) {
+    const QueuedJob c = job_at(i);
+    // Cheap O(1) reservation conditions first; the occupancy-index probe
+    // only runs for candidates that could not delay the head anyway:
+    // either done (by estimate) before the shadow time, or within the
+    // processors left over there after the head is seated.
+    if (reachable && snap.now + c.demand > shadow && c.processors > extra) continue;
+    if (probe(c)) return i;
+  }
+  return std::nullopt;
+}
+
+void BackfillScheduler::on_start(const QueuedJob& job, double now,
+                                 std::int64_t allocated) {
+  const auto it = running_.insert(Running{now + job.demand, job.job_id, allocated});
+  slot_.emplace(job.job_id, it);
+}
+
+void BackfillScheduler::on_complete(std::uint64_t job_id, double) {
+  const auto it = slot_.find(job_id);
+  if (it == slot_.end()) return;
+  running_.erase(it->second);
+  slot_.erase(it);
+}
+
+void BackfillScheduler::clear() {
+  FifoBase::clear();
+  running_.clear();
+  slot_.clear();
+}
+
+}  // namespace procsim::sched

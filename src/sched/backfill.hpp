@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "sched/fifo_base.hpp"
+
+namespace procsim::sched {
+
+/// EASY-style (aggressive) backfilling — Lifka's Extensible Argonne
+/// Scheduler, the batch-scheduling baseline of Casanova et al.: FCFS order
+/// with a single reservation, for the blocked head only. (Conservative
+/// backfilling, which reserves for *every* waiting job, is a different
+/// discipline — see the ROADMAP's open items.)
+///
+/// When the head cannot be allocated, its reservation ("shadow time") is the
+/// earliest instant the running jobs' estimated completions free enough
+/// processors for it; each queued job's known `demand` serves as the runtime
+/// estimate (the paper's SSD key — the real service time remains an output
+/// of network contention, so estimates are exactly as accurate as SSD's
+/// ordering key). A later job may overtake the head only if it fits right
+/// now (the probe) and cannot delay the reservation: it either finishes (by
+/// its own estimate) before the shadow time, or it needs no more than the
+/// processors left over at the shadow time after the head is seated.
+///
+/// Processor arithmetic is count-based, in the job's *compute* processor
+/// count (QueuedJob::processors — what the non-contiguous strategies
+/// actually allocate by) against the running jobs' exact held counts. That
+/// makes the reservation exact for Paging(0), MBS and Random; for the
+/// contiguous baselines fragmentation can block a request despite a
+/// sufficient count, and for strategies with internal fragmentation
+/// (Paging(k>0) pages, GABL's bounding box) a backfilled candidate may hold
+/// somewhat more than its requested count — both documented approximations
+/// of this count-based model.
+class BackfillScheduler final : public FifoBase {
+ public:
+  [[nodiscard]] std::optional<std::size_t> select(const AllocProbe& probe,
+                                                  const SchedSnapshot& snap) override;
+
+  void on_start(const QueuedJob& job, double now, std::int64_t allocated) override;
+  void on_complete(std::uint64_t job_id, double now) override;
+
+  [[nodiscard]] std::string name() const override { return "backfill"; }
+  void clear() override;
+
+ private:
+  struct Running {
+    double finish_estimate{0};  ///< start + demand
+    std::uint64_t job_id{0};    ///< deterministic tie-breaker
+    std::int64_t allocated{0};  ///< processors actually held
+    friend bool operator<(const Running& a, const Running& b) {
+      if (a.finish_estimate != b.finish_estimate)
+        return a.finish_estimate < b.finish_estimate;
+      return a.job_id < b.job_id;
+    }
+  };
+
+  /// Kept ordered by estimated finish so select()'s reservation walk is a
+  /// plain in-order traversal — no per-pass copy + sort; slot_ locates a
+  /// job's entry for the O(log R) on_complete erase.
+  std::multiset<Running> running_;
+  std::unordered_map<std::uint64_t, std::multiset<Running>::iterator> slot_;
+};
+
+}  // namespace procsim::sched

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace procsim::sched {
+
+/// Common arrival-ordered (FCFS) queue for the disciplines that keep the
+/// paper's base order but pick non-head jobs transactionally (lookahead
+/// windows, backfilling). The queue is a vector kept sorted by `seq`; the
+/// simulator enqueues in arrival order, so the sorted insert almost always
+/// degenerates to push_back — the general path only exists so property tests
+/// may enqueue out of order.
+class FifoBase : public Scheduler {
+ public:
+  void enqueue(const QueuedJob& job) override {
+    const auto pos = std::upper_bound(
+        queue_.begin(), queue_.end(), job,
+        [](const QueuedJob& a, const QueuedJob& b) { return a.seq < b.seq; });
+    queue_.insert(pos, job);
+  }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  [[nodiscard]] QueuedJob job_at(std::size_t pos) const override {
+    return queue_.at(pos);
+  }
+
+  QueuedJob take(std::size_t pos) override {
+    QueuedJob job = queue_.at(pos);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pos));
+    return job;
+  }
+
+  void clear() override { queue_.clear(); }
+
+ protected:
+  [[nodiscard]] const std::vector<QueuedJob>& queue() const noexcept { return queue_; }
+
+ private:
+  std::vector<QueuedJob> queue_;
+};
+
+}  // namespace procsim::sched

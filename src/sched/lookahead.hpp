@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sched/fifo_base.hpp"
+
+namespace procsim::sched {
+
+/// Lookahead-k window scheduling: FCFS order, but when the head cannot be
+/// allocated the pass may start any of the first `k` queued jobs that fits
+/// right now (first fitting position wins, so earlier arrivals keep
+/// priority inside the window).
+///
+/// This deliberately relaxes the paper's blocking semantics — a fitting
+/// non-head job overtakes a blocked head, which can delay the head
+/// indefinitely under adversarial streams (no reservation; see
+/// BackfillScheduler for the starvation-free variant). k = 1 degenerates to
+/// FCFS with a probe instead of a failed attempt, which is
+/// allocation-equivalent to the blocking path for every shipped strategy
+/// (can_allocate is exact).
+class LookaheadScheduler final : public FifoBase {
+ public:
+  /// `window` must be >= 1 (checked by the registry's spec parser).
+  explicit LookaheadScheduler(std::size_t window) : window_(window) {}
+
+  [[nodiscard]] std::optional<std::size_t> select(const AllocProbe& probe,
+                                                  const SchedSnapshot& snap) override;
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+};
+
+}  // namespace procsim::sched

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iterator>
 #include <set>
 #include <utility>
 
@@ -20,20 +21,36 @@ enum class Policy {
 /// Scheduler that keeps the waiting queue ordered by the policy's key with
 /// arrival sequence as the final tie-breaker (so equal keys behave FCFS,
 /// and behaviour is deterministic).
+///
+/// select() always nominates the head and never consults the probe: the
+/// simulator's real allocation attempt failing is what ends the pass — the
+/// paper's blocking head-of-queue semantics, preserved bit for bit across
+/// the transactional-interface refactor.
 class OrderedScheduler final : public Scheduler {
  public:
   explicit OrderedScheduler(Policy policy) : policy_(policy), queue_(Less{policy}) {}
 
   void enqueue(const QueuedJob& job) override { queue_.insert(job); }
 
-  [[nodiscard]] std::optional<QueuedJob> head() const override {
-    if (queue_.empty()) return std::nullopt;
-    return *queue_.begin();
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  [[nodiscard]] QueuedJob job_at(std::size_t pos) const override {
+    return *std::next(queue_.begin(), static_cast<std::ptrdiff_t>(pos));
   }
 
-  void pop_head() override { queue_.erase(queue_.begin()); }
+  [[nodiscard]] std::optional<std::size_t> select(const AllocProbe&,
+                                                  const SchedSnapshot&) override {
+    if (queue_.empty()) return std::nullopt;
+    return 0;  // blocking semantics: only ever nominate the head
+  }
 
-  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+  QueuedJob take(std::size_t pos) override {
+    const auto it = std::next(queue_.begin(), static_cast<std::ptrdiff_t>(pos));
+    QueuedJob job = *it;
+    queue_.erase(it);
+    return job;
+  }
+
   [[nodiscard]] std::string name() const override { return to_string(policy_); }
   void clear() override { queue_.clear(); }
 

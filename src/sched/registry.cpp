@@ -2,11 +2,30 @@
 
 #include <stdexcept>
 
+#include "sched/backfill.hpp"
+#include "sched/lookahead.hpp"
 #include "util/strings.hpp"
 
 namespace procsim::sched {
 
 using util::iequals;
+
+namespace {
+
+/// Parses the ":k" window argument of a lookahead spec (absent -> default).
+[[nodiscard]] std::optional<std::size_t> parse_window(std::string_view arg) {
+  if (arg.empty()) return std::nullopt;
+  std::size_t value = 0;
+  for (const char c : arg) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    if (value > 1'000'000) return std::nullopt;  // absurd windows are typos
+  }
+  if (value == 0) return std::nullopt;
+  return value;
+}
+
+}  // namespace
 
 std::optional<Policy> parse_policy(std::string_view name) noexcept {
   for (const auto& [policy, canonical] : kPolicyNames)
@@ -14,26 +33,65 @@ std::optional<Policy> parse_policy(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+std::optional<SchedSpec> parse_sched_spec(std::string_view spec) noexcept {
+  if (const auto policy = parse_policy(spec)) return SchedSpec{*policy};
+  if (iequals(spec, "backfill")) return SchedSpec{std::string("backfill")};
+
+  const std::size_t colon = spec.find(':');
+  const std::string_view kind = spec.substr(0, colon);
+  if (iequals(kind, "lookahead")) {
+    std::size_t window = kDefaultLookahead;
+    if (colon != std::string_view::npos) {
+      const auto parsed = parse_window(spec.substr(colon + 1));
+      if (!parsed) return std::nullopt;
+      window = *parsed;
+    }
+    return SchedSpec{"lookahead:" + std::to_string(window)};
+  }
+  return std::nullopt;
+}
+
 std::vector<std::string> known_schedulers() {
   std::vector<std::string> out;
-  out.reserve(kPolicyNames.size());
+  out.reserve(kPolicyNames.size() + 2);
   for (const auto& [policy, canonical] : kPolicyNames) out.emplace_back(canonical);
+  out.emplace_back("lookahead:<k>");
+  out.emplace_back("backfill");
   return out;
+}
+
+std::string known_scheduler_list() {
+  std::string known;
+  for (const std::string& n : known_schedulers()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return known;
 }
 
 std::unique_ptr<Scheduler> make_scheduler(Policy policy) {
   return std::make_unique<OrderedScheduler>(policy);
 }
 
-std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
-  if (const auto policy = parse_policy(name)) return make_scheduler(*policy);
-  std::string known;
-  for (const std::string& n : known_schedulers()) {
-    if (!known.empty()) known += ", ";
-    known += n;
+std::unique_ptr<Scheduler> make_scheduler(const SchedSpec& spec) {
+  if (const auto policy = parse_policy(spec.canonical))
+    return std::make_unique<OrderedScheduler>(*policy);
+  if (spec.canonical == "backfill") return std::make_unique<BackfillScheduler>();
+  constexpr std::string_view kLookahead = "lookahead:";
+  if (spec.canonical.size() > kLookahead.size() &&
+      std::string_view(spec.canonical).substr(0, kLookahead.size()) == kLookahead) {
+    const auto window =
+        parse_window(std::string_view(spec.canonical).substr(kLookahead.size()));
+    if (window) return std::make_unique<LookaheadScheduler>(*window);
   }
+  throw std::invalid_argument("make_scheduler: unknown policy '" + spec.canonical +
+                              "' (known: " + known_scheduler_list() + ")");
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (const auto spec = parse_sched_spec(name)) return make_scheduler(*spec);
   throw std::invalid_argument("make_scheduler: unknown policy '" + name +
-                              "' (known: " + known + ")");
+                              "' (known: " + known_scheduler_list() + ")");
 }
 
 }  // namespace procsim::sched

@@ -13,9 +13,10 @@
 
 namespace procsim::sched {
 
-/// Single source of truth for policy names: to_string(Policy), parse_policy()
-/// and make_scheduler(name) all read this table, so a name printed in a CSV
-/// header or by Scheduler::name() always round-trips through the registry.
+/// Single source of truth for the ordered-policy names: to_string(Policy),
+/// parse_policy() and make_scheduler(name) all read this table, so a name
+/// printed in a CSV header or by Scheduler::name() always round-trips
+/// through the registry.
 inline constexpr std::array<std::pair<Policy, const char*>, 4> kPolicyNames{{
     {Policy::kFcfs, "FCFS"},
     {Policy::kSsd, "SSD"},
@@ -23,13 +24,57 @@ inline constexpr std::array<std::pair<Policy, const char*>, 4> kPolicyNames{{
     {Policy::kLargestJob, "LJF"},
 }};
 
-/// Case-insensitive name -> policy; nullopt for unknown names.
+/// Window size "lookahead" resolves to when no :k argument is given.
+inline constexpr std::size_t kDefaultLookahead = 4;
+
+/// A validated, canonical scheduler spec — what ExperimentConfig carries and
+/// drivers print. Grammar (case-insensitive; parse_sched_spec validates):
+///
+///   spec := FCFS | SSD | SJF | LJF          (blocking ordered disciplines)
+///         | lookahead[:k]                   (k >= 1, default 4)
+///         | backfill                        (EASY, head reservation)
+///
+/// Implicitly constructible from Policy so paper-era call sites
+/// (`cfg.scheduler = Policy::kFcfs`) keep compiling unchanged.
+struct SchedSpec {
+  std::string canonical{"FCFS"};
+
+  SchedSpec() = default;
+  SchedSpec(Policy p) : canonical(to_string(p)) {}  // NOLINT: implicit by design
+  explicit SchedSpec(std::string c) : canonical(std::move(c)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return canonical; }
+  friend bool operator==(const SchedSpec& a, const SchedSpec& b) {
+    return a.canonical == b.canonical;
+  }
+};
+
+/// Case-insensitive name -> ordered policy; nullopt for unknown names (and
+/// for the policies beyond the ordered set: lookahead/backfill are specs,
+/// not Policy values).
 [[nodiscard]] std::optional<Policy> parse_policy(std::string_view name) noexcept;
 
-/// Canonical names accepted by make_scheduler, in table order.
+/// Case-insensitive spec -> canonical SchedSpec covering every registered
+/// discipline; nullopt when the name/argument does not parse.
+[[nodiscard]] std::optional<SchedSpec> parse_sched_spec(std::string_view spec) noexcept;
+
+/// The registered disciplines for error messages and help text, in table
+/// order. Every entry is a canonical spec except the parameterised
+/// lookahead, shown as the placeholder "lookahead:<k>" (the same idiom as
+/// the workload registry's "swf:<path>") — substitute a number to parse it.
 [[nodiscard]] std::vector<std::string> known_schedulers();
 
+/// known_schedulers() joined with ", " — the listing drivers and the
+/// factory's invalid_argument message both print.
+[[nodiscard]] std::string known_scheduler_list();
+
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(Policy policy);
+
+/// Spec-based factory: guarantees make_scheduler(spec)->name() ==
+/// spec.canonical for any parse_sched_spec result. Throws
+/// std::invalid_argument (listing the known names) for an unvalidated spec
+/// that does not parse.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const SchedSpec& spec);
 
 /// Name-based factory for drivers; throws std::invalid_argument (listing the
 /// known names) when `name` does not parse.

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -11,28 +12,95 @@ struct QueuedJob {
   std::uint64_t job_id{0};
   double arrival{0};      ///< submission time
   double demand{0};       ///< SSD key: known service demand
-  std::int64_t area{0};   ///< requested processors (for size-based extras)
+  std::int64_t area{0};   ///< bounding w×l footprint (the size-ordering key)
+  /// Processors the job actually computes on (<= area for trace-shaped
+  /// requests) — what reservation arithmetic must count, since the
+  /// non-contiguous strategies allocate by this number, not the bounding box.
+  std::int32_t processors{0};
   std::uint64_t seq{0};   ///< arrival sequence, the universal tie-breaker
 };
 
-/// Queueing discipline. The simulator repeatedly takes `head()`, tries to
-/// allocate it, and stops at the first failure — the paper's blocking
-/// semantics for both FCFS and SSD ("allocation attempts stop when they fail
-/// for the current queue head"); the disciplines differ only in who the head
-/// is.
+/// Allocatability probe the simulator hands to select(): true when the job
+/// could be allocated at this instant. Probing never commits — it is the
+/// allocator's exact feasibility test (Allocator::can_allocate), answered
+/// from the occupancy index without touching any state, so a discipline may
+/// test many non-head jobs per scheduling pass cheaply.
+using AllocProbe = std::function<bool(const QueuedJob&)>;
+
+/// Machine-state snapshot for one select() step (reservation-aware
+/// disciplines need the clock and the free-processor count; the simple
+/// orderings ignore it).
+struct SchedSnapshot {
+  double now{0};
+  std::int64_t free_processors{0};
+};
+
+/// Queueing discipline behind the transactional scheduling pass.
+///
+/// The simulator repeatedly asks `select(probe, snap)` for the queue
+/// position of the job to start next, attempts the real allocation, and on
+/// success removes the job with `take(pos)`; the pass ends when select()
+/// returns nullopt or an allocation attempt fails.
+///
+/// The paper's blocking semantics (FCFS/SSD: "allocation attempts stop when
+/// they fail for the current queue head") fall out of the simplest
+/// implementation — return position 0 without consulting the probe and let
+/// the simulator's failed attempt end the pass. Disciplines that go beyond
+/// the paper (lookahead windows, backfilling) probe non-head jobs and only
+/// return positions the probe approved.
+///
+/// `job_at` exposes the queue in discipline order (position 0 is the head),
+/// so a pass can inspect any candidate without consuming it. `on_start` /
+/// `on_complete` keep reservation-aware disciplines' view of the running set
+/// current; the simple orderings inherit the no-op defaults.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   virtual void enqueue(const QueuedJob& job) = 0;
-  /// The job the discipline would start next; nullopt when empty.
-  [[nodiscard]] virtual std::optional<QueuedJob> head() const = 0;
-  /// Removes the current head. Precondition: !empty().
-  virtual void pop_head() = 0;
 
   [[nodiscard]] virtual std::size_t size() const = 0;
   [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// The queue in discipline order: position 0 is the job the discipline
+  /// would start first. Precondition: pos < size().
+  [[nodiscard]] virtual QueuedJob job_at(std::size_t pos) const = 0;
+
+  /// One step of the transactional scheduling pass: the position of the job
+  /// to try to start now, or nullopt to end the pass. A discipline that
+  /// returns a position it probed guarantees the probe approved it; a
+  /// discipline that never probes (the blocking orderings) relies on the
+  /// simulator's real attempt instead.
+  [[nodiscard]] virtual std::optional<std::size_t> select(const AllocProbe& probe,
+                                                          const SchedSnapshot& snap) = 0;
+
+  /// Removes and returns the job at `pos`. Precondition: pos < size().
+  virtual QueuedJob take(std::size_t pos) = 0;
+
+  /// Notification that `job` started on `allocated` processors at `now`
+  /// (allocated may exceed job.area: internal fragmentation). Default no-op.
+  virtual void on_start(const QueuedJob& job, double now, std::int64_t allocated) {
+    (void)job;
+    (void)now;
+    (void)allocated;
+  }
+  /// Notification that the job with `job_id` released its processors at
+  /// `now`. Default no-op.
+  virtual void on_complete(std::uint64_t job_id, double now) {
+    (void)job_id;
+    (void)now;
+  }
+
+  /// Convenience view of position 0; nullopt when empty.
+  [[nodiscard]] std::optional<QueuedJob> head() const {
+    if (empty()) return std::nullopt;
+    return job_at(0);
+  }
+
+  /// Canonical registry name (round-trips through make_scheduler).
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Empties the queue and any running-set bookkeeping (fresh replication).
   virtual void clear() = 0;
 };
 

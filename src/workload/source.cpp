@@ -29,19 +29,28 @@ std::optional<Job> StochasticSource::generate() {
 
 // ------------------------------------------------------------------ trace
 
-TraceSource::TraceSource(std::vector<TraceJob> trace, TraceReplayParams replay,
-                         double load, mesh::Geometry geom, std::string name)
+TraceSource::TraceSource(std::shared_ptr<const std::vector<TraceJob>> trace,
+                         TraceReplayParams replay, double load, mesh::Geometry geom,
+                         std::string name)
     : trace_(std::move(trace)),
       replay_(replay),
       active_(replay),
       load_(load),
       geom_(geom),
-      name_(std::move(name)),
-      stats_(compute_stats(trace_)) {}
+      name_(std::move(name)) {
+  if (!trace_) throw std::invalid_argument("TraceSource: null shared trace");
+  stats_ = compute_stats(*trace_);
+}
+
+TraceSource::TraceSource(std::vector<TraceJob> trace, TraceReplayParams replay,
+                         double load, mesh::Geometry geom, std::string name)
+    : TraceSource(std::make_shared<const std::vector<TraceJob>>(std::move(trace)),
+                  replay, load, geom, std::move(name)) {}
 
 TraceSource::TraceSource(ParagonModelParams model, TraceReplayParams replay,
                          double load, mesh::Geometry geom, std::string name)
-    : model_(model),
+    : trace_(std::make_shared<const std::vector<TraceJob>>()),
+      model_(model),
       replay_(replay),
       active_(replay),
       load_(load),
@@ -53,8 +62,9 @@ void TraceSource::do_reset(std::uint64_t seed) {
   if (model_) {
     // The synthetic trace is itself part of the replication's randomness:
     // regenerate it from the replication seed, exactly as the eager path did.
-    trace_ = generate_paragon_trace(*model_, rng_);
-    stats_ = compute_stats(trace_);
+    trace_ = std::make_shared<const std::vector<TraceJob>>(
+        generate_paragon_trace(*model_, rng_));
+    stats_ = compute_stats(*trace_);
   }
   active_ = replay_;
   if (load_ > 0 && stats_.mean_interarrival > 0)
@@ -62,14 +72,14 @@ void TraceSource::do_reset(std::uint64_t seed) {
   if (active_.arrival_factor <= 0)
     throw std::invalid_argument("TraceSource: arrival_factor must be > 0");
   next_ = 0;
-  limit_ = active_.prefix == 0 ? trace_.size()
-                               : std::min(active_.prefix, trace_.size());
+  limit_ = active_.prefix == 0 ? trace_->size()
+                               : std::min(active_.prefix, trace_->size());
 }
 
 std::optional<Job> TraceSource::generate() {
   if (next_ >= limit_) return std::nullopt;
   const std::size_t i = next_++;
-  return make_trace_job(trace_[i], i, active_, geom_, rng_);
+  return make_trace_job((*trace_)[i], i, active_, geom_, rng_);
 }
 
 // ------------------------------------------------------------- saturation

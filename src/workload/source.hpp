@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -127,13 +128,18 @@ class StochasticSource final : public BufferedSource {
 };
 
 /// Trace replay as a source: either a fixed record vector (an SWF file,
-/// loaded once and reused across resets) or the synthetic Paragon model
-/// (regenerated from each reset seed, as the eager path did). When
+/// parsed once — optionally shared immutably across every replication and
+/// sweep cell via workload::load_swf_file_shared) or the synthetic Paragon
+/// model (regenerated from each reset seed, as the eager path did). When
 /// `load > 0`, the arrival factor is derived from the trace's mean
 /// inter-arrival per `arrival_factor_for_load`; otherwise
 /// `replay.arrival_factor` applies as given.
 class TraceSource final : public BufferedSource {
  public:
+  /// Shares an already-parsed immutable trace (must be non-null).
+  TraceSource(std::shared_ptr<const std::vector<TraceJob>> trace,
+              TraceReplayParams replay, double load, mesh::Geometry geom,
+              std::string name);
   TraceSource(std::vector<TraceJob> trace, TraceReplayParams replay, double load,
               mesh::Geometry geom, std::string name);
   TraceSource(ParagonModelParams model, TraceReplayParams replay, double load,
@@ -149,7 +155,10 @@ class TraceSource final : public BufferedSource {
   [[nodiscard]] std::optional<Job> generate() override;
 
  private:
-  std::vector<TraceJob> trace_;
+  /// Fixed traces alias the shared parse; the Paragon model re-points this
+  /// at a freshly generated vector per reset. Never null after construction
+  /// (model sources hold an empty trace until the first reset).
+  std::shared_ptr<const std::vector<TraceJob>> trace_;
   std::optional<ParagonModelParams> model_;
   TraceReplayParams replay_;       ///< template; arrival factor set per reset
   TraceReplayParams active_;       ///< the replication's effective params

@@ -175,8 +175,11 @@ std::unique_ptr<Source> make_source(const std::string& spec,
     if (parsed->kind == "real")
       return std::make_unique<TraceSource>(ParagonModelParams{}, replay, load, geom,
                                            parsed->canonical);
-    return std::make_unique<TraceSource>(load_swf_file(parsed->arg, geom.nodes()),
-                                         replay, load, geom, parsed->canonical);
+    // Shared parse: every replication (and sweep cell) replaying this file
+    // aliases one immutable record vector instead of re-reading the archive.
+    return std::make_unique<TraceSource>(
+        load_swf_file_shared(parsed->arg, geom.nodes()), replay, load, geom,
+        parsed->canonical);
   }
 
   if (parsed->kind == "saturation") {

@@ -2,8 +2,11 @@
 
 #include <bit>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace procsim::workload {
 
@@ -67,6 +70,55 @@ std::vector<TraceJob> load_swf_file(const std::string& path, std::int32_t max_pr
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_swf_file: cannot open " + path);
   return parse_swf(in, max_processors);
+}
+
+namespace {
+
+/// The process-wide parse cache. Guarded by a mutex: parallel sweep cells
+/// and replication workers construct sources concurrently. Parsing happens
+/// under the lock on purpose — two racing first loads of a big archive
+/// parsing it twice would cost more than the brief serialisation.
+struct SwfCache {
+  std::mutex mu;
+  std::map<std::pair<std::string, std::int32_t>,
+           std::shared_ptr<const std::vector<TraceJob>>>
+      entries;
+  std::uint64_t hits{0};
+};
+
+SwfCache& swf_cache() {
+  static SwfCache cache;
+  return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<TraceJob>> load_swf_file_shared(
+    const std::string& path, std::int32_t max_processors) {
+  SwfCache& cache = swf_cache();
+  const std::scoped_lock lock(cache.mu);
+  const auto key = std::make_pair(path, max_processors);
+  if (const auto it = cache.entries.find(key); it != cache.entries.end()) {
+    ++cache.hits;
+    return it->second;
+  }
+  auto trace =
+      std::make_shared<const std::vector<TraceJob>>(load_swf_file(path, max_processors));
+  cache.entries.emplace(key, trace);
+  return trace;
+}
+
+SwfCacheStats swf_cache_stats() {
+  SwfCache& cache = swf_cache();
+  const std::scoped_lock lock(cache.mu);
+  return SwfCacheStats{cache.entries.size(), cache.hits};
+}
+
+void clear_swf_cache() {
+  SwfCache& cache = swf_cache();
+  const std::scoped_lock lock(cache.mu);
+  cache.entries.clear();
+  cache.hits = 0;
 }
 
 }  // namespace procsim::workload

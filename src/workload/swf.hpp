@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,5 +47,25 @@ struct TraceStats {
 /// cannot be opened.
 [[nodiscard]] std::vector<TraceJob> load_swf_file(const std::string& path,
                                                   std::int32_t max_processors = 0);
+
+/// Loads an SWF file through a process-wide, thread-safe cache keyed by
+/// (path, max_processors): each distinct file is parsed once and the
+/// immutable record vector is shared by every replication — and every cell
+/// of a sweep — that replays it, instead of re-reading the archive per
+/// replication. Entries live for the process lifetime (sweeps replay the
+/// same handful of fixed archives); the cache assumes trace files do not
+/// change underneath a running experiment. Throws like load_swf_file.
+[[nodiscard]] std::shared_ptr<const std::vector<TraceJob>> load_swf_file_shared(
+    const std::string& path, std::int32_t max_processors = 0);
+
+/// Cache observability (tests, diagnostics).
+struct SwfCacheStats {
+  std::size_t entries{0};  ///< distinct (path, max_processors) keys parsed
+  std::uint64_t hits{0};   ///< shared loads answered without re-parsing
+};
+[[nodiscard]] SwfCacheStats swf_cache_stats();
+
+/// Drops every cached trace (test isolation hook).
+void clear_swf_cache();
 
 }  // namespace procsim::workload

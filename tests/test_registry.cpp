@@ -91,8 +91,34 @@ TEST(SchedRegistry, ParseIsCaseInsensitiveAndTotal) {
   EXPECT_FALSE(procsim::sched::parse_policy("LIFO").has_value());
   EXPECT_THROW((void)procsim::sched::make_scheduler(std::string("LIFO")),
                std::invalid_argument);
+  // Ordered policies + lookahead:<k> + backfill.
   EXPECT_EQ(procsim::sched::known_schedulers().size(),
-            procsim::sched::kPolicyNames.size());
+            procsim::sched::kPolicyNames.size() + 2);
+}
+
+TEST(SchedRegistry, SpecGrammarCanonicalisesAndRoundTrips) {
+  using procsim::sched::parse_sched_spec;
+  // Case-insensitive, canonical spelling, default lookahead window.
+  EXPECT_EQ(parse_sched_spec("Backfill")->canonical, "backfill");
+  EXPECT_EQ(parse_sched_spec("LOOKAHEAD:8")->canonical, "lookahead:8");
+  EXPECT_EQ(parse_sched_spec("lookahead")->canonical, "lookahead:4");
+  EXPECT_EQ(parse_sched_spec("fcfs")->canonical, "FCFS");
+  // Bad windows fail to parse.
+  EXPECT_FALSE(parse_sched_spec("lookahead:0").has_value());
+  EXPECT_FALSE(parse_sched_spec("lookahead:-1").has_value());
+  EXPECT_FALSE(parse_sched_spec("lookahead:x").has_value());
+  EXPECT_FALSE(parse_sched_spec("lookahead:").has_value());
+  // Every spec round-trips through the factory: name() is the canonical spec.
+  for (const char* spec : {"FCFS", "SSD", "SJF", "LJF", "lookahead:4",
+                           "lookahead:16", "backfill"}) {
+    const auto parsed = parse_sched_spec(spec);
+    ASSERT_TRUE(parsed.has_value()) << spec;
+    const auto s = procsim::sched::make_scheduler(*parsed);
+    EXPECT_EQ(s->name(), parsed->canonical);
+    const auto again = parse_sched_spec(s->name());
+    ASSERT_TRUE(again.has_value()) << s->name();
+    EXPECT_EQ(again->canonical, parsed->canonical);
+  }
 }
 
 }  // namespace

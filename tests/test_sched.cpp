@@ -1,18 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
 #include "sched/ordered_scheduler.hpp"
 
 namespace {
 
+using procsim::sched::AllocProbe;
 using procsim::sched::OrderedScheduler;
 using procsim::sched::Policy;
 using procsim::sched::QueuedJob;
+using procsim::sched::SchedSnapshot;
 
 QueuedJob job(std::uint64_t id, double demand, std::int64_t area, std::uint64_t seq) {
   QueuedJob q;
   q.job_id = id;
   q.demand = demand;
   q.area = area;
+  q.processors = static_cast<std::int32_t>(area);
   q.seq = seq;
   q.arrival = static_cast<double>(seq);
   return q;
@@ -25,11 +32,9 @@ TEST(Fcfs, HeadIsArrivalOrder) {
   s.enqueue(job(12, 50, 1, 1));
   ASSERT_TRUE(s.head().has_value());
   EXPECT_EQ(s.head()->job_id, 11u);
-  s.pop_head();
-  EXPECT_EQ(s.head()->job_id, 12u);
-  s.pop_head();
-  EXPECT_EQ(s.head()->job_id, 10u);
-  s.pop_head();
+  EXPECT_EQ(s.take(0).job_id, 11u);
+  EXPECT_EQ(s.take(0).job_id, 12u);
+  EXPECT_EQ(s.take(0).job_id, 10u);
   EXPECT_FALSE(s.head().has_value());
 }
 
@@ -38,11 +43,9 @@ TEST(Ssd, HeadIsShortestDemand) {
   s.enqueue(job(1, 300, 1, 0));
   s.enqueue(job(2, 10, 1, 1));
   s.enqueue(job(3, 100, 1, 2));
-  EXPECT_EQ(s.head()->job_id, 2u);
-  s.pop_head();
-  EXPECT_EQ(s.head()->job_id, 3u);
-  s.pop_head();
-  EXPECT_EQ(s.head()->job_id, 1u);
+  EXPECT_EQ(s.take(0).job_id, 2u);
+  EXPECT_EQ(s.take(0).job_id, 3u);
+  EXPECT_EQ(s.take(0).job_id, 1u);
 }
 
 TEST(Ssd, TiesBreakFcfs) {
@@ -90,5 +93,103 @@ TEST(Scheduler, Names) {
   EXPECT_EQ(OrderedScheduler(Policy::kFcfs).name(), "FCFS");
   EXPECT_EQ(OrderedScheduler(Policy::kSsd).name(), "SSD");
 }
+
+TEST(Scheduler, JobAtExposesDisciplineOrder) {
+  OrderedScheduler s(Policy::kSsd);
+  s.enqueue(job(1, 30, 1, 0));
+  s.enqueue(job(2, 10, 1, 1));
+  s.enqueue(job(3, 20, 1, 2));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.job_at(0).job_id, 2u);
+  EXPECT_EQ(s.job_at(1).job_id, 3u);
+  EXPECT_EQ(s.job_at(2).job_id, 1u);
+}
+
+TEST(Scheduler, TakeFromMiddlePreservesOrder) {
+  OrderedScheduler s(Policy::kFcfs);
+  for (std::uint64_t i = 0; i < 5; ++i) s.enqueue(job(i, 1, 1, i));
+  EXPECT_EQ(s.take(2).job_id, 2u);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.job_at(0).job_id, 0u);
+  EXPECT_EQ(s.job_at(2).job_id, 3u);
+}
+
+TEST(Scheduler, OrderedSelectNominatesHeadWithoutProbing) {
+  OrderedScheduler s(Policy::kFcfs);
+  const AllocProbe forbidden = [](const QueuedJob&) -> bool {
+    ADD_FAILURE() << "blocking disciplines must not probe";
+    return false;
+  };
+  const SchedSnapshot snap{0.0, 100};
+  EXPECT_FALSE(s.select(forbidden, snap).has_value());  // empty queue
+  s.enqueue(job(7, 1, 1, 0));
+  const auto pos = s.select(forbidden, snap);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(*pos, 0u);  // always the head, even if it cannot be allocated
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: for every discipline, the queue view equals the jobs
+// sorted by the discipline's key with `seq` as the final tie-breaker, no
+// matter the enqueue order.
+// ---------------------------------------------------------------------------
+
+bool ordered_before(Policy policy, const QueuedJob& a, const QueuedJob& b) {
+  switch (policy) {
+    case Policy::kFcfs:
+      break;
+    case Policy::kSsd:
+      if (a.demand != b.demand) return a.demand < b.demand;
+      break;
+    case Policy::kSmallestJob:
+      if (a.area != b.area) return a.area < b.area;
+      break;
+    case Policy::kLargestJob:
+      if (a.area != b.area) return a.area > b.area;
+      break;
+  }
+  return a.seq < b.seq;
+}
+
+class OrderedPolicyProperty : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(OrderedPolicyProperty, QueueViewMatchesSortedOrder) {
+  const Policy policy = GetParam();
+  std::mt19937_64 rng(0xD15C1F11u + static_cast<unsigned>(policy));
+  for (int round = 0; round < 20; ++round) {
+    // Few distinct key values on purpose: ties must be commonplace so the
+    // seq tie-break is actually exercised.
+    std::vector<QueuedJob> jobs;
+    const std::size_t n = 1 + rng() % 40;
+    for (std::size_t i = 0; i < n; ++i)
+      jobs.push_back(job(i, static_cast<double>(rng() % 5),
+                         static_cast<std::int64_t>(1 + rng() % 4), i));
+    std::vector<QueuedJob> shuffled = jobs;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+
+    OrderedScheduler s(policy);
+    for (const QueuedJob& q : shuffled) s.enqueue(q);
+
+    std::vector<QueuedJob> want = jobs;
+    std::sort(want.begin(), want.end(),
+              [policy](const QueuedJob& a, const QueuedJob& b) {
+                return ordered_before(policy, a, b);
+              });
+    ASSERT_EQ(s.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(s.job_at(i).job_id, want[i].job_id) << "position " << i;
+    // Draining through take(0) yields the same sequence.
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(s.take(0).job_id, want[i].job_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, OrderedPolicyProperty,
+                         ::testing::Values(Policy::kFcfs, Policy::kSsd,
+                                           Policy::kSmallestJob,
+                                           Policy::kLargestJob),
+                         [](const auto& info) {
+                           return std::string(procsim::sched::to_string(info.param));
+                         });
 
 }  // namespace

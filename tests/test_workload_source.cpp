@@ -273,6 +273,54 @@ TEST(SwfSource, ResetIsReproducibleAndSubstreamsDiffer) {
   EXPECT_TRUE(any_differ);
 }
 
+// ---------------------------------------------------------------- swf cache
+
+TEST(SwfCache, SharedLoaderParsesOnceAndSharesTheVector) {
+  procsim::workload::clear_swf_cache();
+  const auto a = procsim::workload::load_swf_file_shared(fixture_path(), 352);
+  const auto s0 = procsim::workload::swf_cache_stats();
+  EXPECT_EQ(s0.entries, 1u);
+  EXPECT_EQ(s0.hits, 0u);
+  const auto b = procsim::workload::load_swf_file_shared(fixture_path(), 352);
+  EXPECT_EQ(a.get(), b.get());  // one parse, aliased — not re-read
+  const auto s1 = procsim::workload::swf_cache_stats();
+  EXPECT_EQ(s1.entries, 1u);
+  EXPECT_EQ(s1.hits, 1u);
+  // A different partition cap filters records differently: its own entry.
+  const auto c = procsim::workload::load_swf_file_shared(fixture_path(), 30);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_LT(c->size(), a->size());
+  EXPECT_EQ(procsim::workload::swf_cache_stats().entries, 2u);
+}
+
+TEST(SwfCache, SharedAndPerReplicationParsesProduceIdenticalJobStreams) {
+  const Geometry geom(16, 22);
+  const TraceReplayParams replay;
+  // The pre-cache behaviour: a private parse per source construction.
+  TraceSource fresh(procsim::workload::load_swf_file(fixture_path(), geom.nodes()),
+                    replay, 0.01, geom, "swf:fresh");
+  // The shared path every replication of a sweep cell now takes.
+  TraceSource shared(
+      procsim::workload::load_swf_file_shared(fixture_path(), geom.nodes()), replay,
+      0.01, geom, "swf:shared");
+  for (const std::uint64_t seed : {1ull, 9ull, 42ull})
+    expect_same_jobs(drain(fresh, seed), drain(shared, seed));
+}
+
+TEST(SwfCache, RegistrySourcesHitTheCacheAcrossConstructions) {
+  procsim::workload::clear_swf_cache();
+  const Geometry g(16, 22);
+  const std::string spec = "swf:" + fixture_path();
+  const auto one = make_source(spec, g);
+  const auto before = procsim::workload::swf_cache_stats();
+  // A second cell/replication constructing the same spec must not re-parse.
+  const auto two = make_source(spec, g);
+  const auto after = procsim::workload::swf_cache_stats();
+  EXPECT_EQ(after.entries, before.entries);
+  EXPECT_EQ(after.hits, before.hits + 1);
+  expect_same_jobs(drain(*one, 5), drain(*two, 5));
+}
+
 // --------------------------------------------------------------- saturation
 
 TEST(SaturationSource, EverythingArrivesAtTimeZero) {
