@@ -3,11 +3,15 @@
 // metric — the scenarios the hardcoded figure binaries cannot express.
 //
 //   procsim_sweep [--mesh=16x22[,32x32,...]] [--alloc=GABL,Paging(0),MBS]
-//                 [--sched=FCFS,SSD,SJF,LJF,lookahead:k,backfill]
+//                 [--sched=FCFS,SSD,SJF,LJF,lookahead:k,
+//                         backfill[:conservative][;shape]]
 //                 [--workload=uniform|exponential|real|swf:<path>|saturation|
 //                            bursty[;key=value...]]
 //                 [--metric=turnaround|service|utilization|latency|blocking|
-//                          hops|queue_length]
+//                          hops|queue_length|wait_mean|wait_p50|wait_p95|
+//                          wait_p99|wait_max|turnaround_p50|turnaround_p95|
+//                          turnaround_p99|turnaround_max|slowdown_p50|
+//                          slowdown_p95|slowdown_p99|slowdown_max|starved]
 //                 [--loads=0.005,0.01,...]
 //                 [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]
 //
@@ -63,13 +67,17 @@ std::optional<mesh::Geometry> parse_mesh(const std::string& s) {
 [[noreturn]] void usage_error(const std::string& msg) {
   std::cerr << "procsim_sweep: " << msg << "\n"
             << "usage: procsim_sweep [--mesh=WxL[,WxL...]] [--alloc=A[,A...]]\n"
-            << "         [--sched=S[,S...]]  (FCFS|SSD|SJF|LJF|lookahead:k|backfill)\n"
+            << "         [--sched=S[,S...]]\n"
+            << "           (FCFS|SSD|SJF|LJF|lookahead:k|backfill[:conservative][;shape])\n"
             << "         [--workload=uniform|exponential|real|swf:<path>|saturation|\n"
             << "                    bursty[;key=value...]]\n"
             << "         [--metric=M] [--loads=x[,x...]]\n"
             << "         [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]\n"
             << "workload spec keys (workload/source_registry.hpp): load, jobs, mes,\n"
-            << "  f (trace arrival factor), n/dist (saturation), b/phase (bursty)\n";
+            << "  f (trace arrival factor), n/dist (saturation), b/phase (bursty)\n"
+            << "fairness metrics (per-job record stream): wait_mean, wait_p50/p95/p99,\n"
+            << "  wait_max, turnaround_p50/p95/p99/max, slowdown_p50/p95/p99/max,\n"
+            << "  starved (jobs waiting > 4x the median wait)\n";
   std::exit(2);
 }
 

@@ -12,8 +12,14 @@
 // `procsim_sweep --workload=`): e.g. "bursty;b=8", "saturation;n=2000",
 // "swf:trace.swf" — the whole table then compares the strategies under that
 // stream instead of the default uniform stochastic one. --sched takes a
-// comma list of scheduler registry specs (default FCFS,SSD; also
-// SJF, LJF, lookahead:k, backfill), one table block per policy.
+// comma list of scheduler registry specs (default FCFS,SSD; also SJF, LJF,
+// lookahead:k, backfill[:conservative][;shape]), one table block per policy.
+//
+// The wait_p95 / sd_p99 / starved columns are the fairness view: mean
+// turnaround hides exactly the per-job tail that lookahead/backfill policies
+// trade away, so the overtaking disciplines are judged here by their P95
+// wait, P99 bounded slowdown, and how many jobs waited more than 4x the
+// median.
 
 #include <cstdio>
 #include <cstring>
@@ -77,8 +83,9 @@ int main(int argc, char** argv) {
   std::printf("%s workload, 16x22 mesh, all-to-all\n\n",
               workload_spec.empty() ? "stochastic uniform (load 0.02)"
                                     : workload_spec.c_str());
-  std::printf("%-16s %12s %12s %8s %8s %10s %10s\n", "strategy", "turnaround",
-              "service", "util", "hops", "latency", "blocking");
+  std::printf("%-16s %12s %12s %8s %8s %10s %10s %10s %8s %8s\n", "strategy",
+              "turnaround", "service", "util", "hops", "latency", "blocking",
+              "wait_p95", "sd_p99", "starved");
   for (const auto& policy : policies) {
     for (const char* name : names) {
       const auto spec = core::parse_allocator_spec(name);
@@ -89,10 +96,11 @@ int main(int argc, char** argv) {
       cfg.allocator = *spec;
       cfg.scheduler = policy;
       const core::RunMetrics m = core::run_once(cfg);
-      std::printf("%-16s %12.1f %12.1f %8.3f %8.2f %10.2f %10.2f\n",
+      std::printf("%-16s %12.1f %12.1f %8.3f %8.2f %10.2f %10.2f %10.1f %8.2f %8.0f\n",
                   cfg.series_label().c_str(), m.turnaround.mean(), m.service.mean(),
                   m.utilization, m.packet_hops.mean(), m.packet_latency.mean(),
-                  m.packet_blocking.mean());
+                  m.packet_blocking.mean(), m.jobs.wait.p95, m.jobs.slowdown.p99,
+                  m.jobs.starved);
     }
     std::printf("\n");
   }

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json emitters.
+
+Compares a fresh bench run against the previous successful baseline and fails
+(exit 1) when a gated throughput number regressed by more than the threshold.
+
+Gated (hard-fail) rows, chosen for signal over CI noise:
+  BENCH_alloc.json  queries[]    query in {first_fit, largest_free}
+                                 -> index_ops_per_sec
+  BENCH_alloc.json  allocators[] allocator in {FirstFit, GABL}
+                                 -> events_per_sec   (the first_fit- and
+                                 largest_free-backed churn paths)
+
+Report-only rows (printed, never fail — source throughput swings more on
+shared runners): BENCH_workload.json sources[] jobs_per_sec.
+
+Usage:
+  bench_gate.py --baseline DIR --current DIR [--threshold 0.25]
+  bench_gate.py --self-test
+
+A missing baseline passes with a notice (first run seeds the cache). The
+--self-test mode proves the gate trips: it builds a synthetic current run 2x
+slower than its baseline and asserts the comparison fails, then asserts an
+identical run passes.
+"""
+
+import argparse
+import copy
+import json
+import os
+import sys
+
+THRESHOLD_DEFAULT = 0.25
+
+GATED_QUERIES = ("first_fit", "largest_free")
+GATED_CHURN = ("FirstFit", "GABL")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def index_rows(rows, keys):
+    """{(row[k] for k in keys): row} with duplicate keys rejected."""
+    out = {}
+    for row in rows:
+        key = tuple(row[k] for k in keys)
+        if key in out:
+            raise SystemExit(f"duplicate bench row {key}")
+        out[key] = row
+    return out
+
+
+def compare_rows(label, base_rows, cur_rows, keys, value, threshold, gate):
+    """Returns the list of failure strings for one row family."""
+    failures = []
+    base = index_rows(base_rows, keys)
+    cur = index_rows(cur_rows, keys)
+    for key, cur_row in sorted(cur.items()):
+        base_row = base.get(key)
+        if base_row is None:
+            print(f"  {label} {key}: new row (no baseline), skipped")
+            continue
+        old, new = base_row[value], cur_row[value]
+        if old <= 0:
+            print(f"  {label} {key}: baseline {value} <= 0, skipped")
+            continue
+        ratio = new / old
+        gated = gate(key)
+        verdict = "ok"
+        if ratio < 1.0 - threshold:
+            verdict = "REGRESSED" if gated else "regressed (report-only)"
+            if gated:
+                failures.append(
+                    f"{label} {key}: {value} {old:.0f} -> {new:.0f} "
+                    f"({ratio:.2f}x, limit {1.0 - threshold:.2f}x)"
+                )
+        print(f"  {label} {key}: {old:.0f} -> {new:.0f} ({ratio:.2f}x) {verdict}")
+    return failures
+
+
+def compare(baseline_dir, current_dir, threshold):
+    failures = []
+    alloc_base = os.path.join(baseline_dir, "BENCH_alloc.json")
+    alloc_cur = os.path.join(current_dir, "BENCH_alloc.json")
+    if os.path.exists(alloc_base) and os.path.exists(alloc_cur):
+        base, cur = load(alloc_base), load(alloc_cur)
+        if base.get("mode") != cur.get("mode"):
+            print(f"  mode changed ({base.get('mode')} -> {cur.get('mode')}): "
+                  "baseline not comparable, skipped")
+        else:
+            print("BENCH_alloc.json:")
+            failures += compare_rows(
+                "query", base["queries"], cur["queries"], ("mesh", "query"),
+                "index_ops_per_sec", threshold,
+                gate=lambda key: key[1] in GATED_QUERIES)
+            failures += compare_rows(
+                "churn", base["allocators"], cur["allocators"],
+                ("mesh", "allocator"), "events_per_sec", threshold,
+                gate=lambda key: key[1] in GATED_CHURN)
+    else:
+        print("BENCH_alloc.json: no baseline yet, seeding")
+
+    workload_base = os.path.join(baseline_dir, "BENCH_workload.json")
+    workload_cur = os.path.join(current_dir, "BENCH_workload.json")
+    if os.path.exists(workload_base) and os.path.exists(workload_cur):
+        base, cur = load(workload_base), load(workload_cur)
+        print("BENCH_workload.json (report-only):")
+        failures += compare_rows(
+            "source", base["sources"], cur["sources"], ("source",),
+            "jobs_per_sec", threshold, gate=lambda key: False)
+    else:
+        print("BENCH_workload.json: no baseline yet, seeding")
+    return failures
+
+
+def self_test():
+    """The acceptance demonstration: an injected 2x slowdown must fail."""
+    import tempfile
+
+    baseline = {
+        "bench": "bench_alloc_scaling",
+        "mode": "fast",
+        "queries": [
+            {"mesh": "64x64", "query": "first_fit",
+             "legacy_ops_per_sec": 5e4, "index_ops_per_sec": 1e6, "speedup": 20},
+            {"mesh": "64x64", "query": "largest_free",
+             "legacy_ops_per_sec": 1e4, "index_ops_per_sec": 6e4, "speedup": 6},
+            {"mesh": "64x64", "query": "best_fit",
+             "legacy_ops_per_sec": 5e4, "index_ops_per_sec": 3e5, "speedup": 6},
+        ],
+        "allocators": [
+            {"mesh": "64x64", "allocator": "FirstFit", "events_per_sec": 5e4},
+            {"mesh": "64x64", "allocator": "GABL", "events_per_sec": 2e4},
+            {"mesh": "64x64", "allocator": "Random", "events_per_sec": 9e4},
+        ],
+    }
+    slowed = copy.deepcopy(baseline)
+    for row in slowed["queries"]:
+        row["index_ops_per_sec"] /= 2.0
+    for row in slowed["allocators"]:
+        row["events_per_sec"] /= 2.0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "base")
+        cur_dir = os.path.join(tmp, "cur")
+        os.makedirs(base_dir)
+        os.makedirs(cur_dir)
+        with open(os.path.join(base_dir, "BENCH_alloc.json"), "w") as f:
+            json.dump(baseline, f)
+
+        print("--- self-test: injected 2x slowdown must FAIL the gate")
+        with open(os.path.join(cur_dir, "BENCH_alloc.json"), "w") as f:
+            json.dump(slowed, f)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if not failures:
+            print("self-test FAILED: the gate passed a 2x slowdown")
+            return 1
+        print(f"  gate tripped as expected ({len(failures)} failures)")
+
+        print("--- self-test: identical run must PASS the gate")
+        with open(os.path.join(cur_dir, "BENCH_alloc.json"), "w") as f:
+            json.dump(baseline, f)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if failures:
+            print("self-test FAILED: the gate tripped on identical numbers")
+            return 1
+        print("  gate passed as expected")
+
+        print("--- self-test: best_fit (ungated query) slowdown alone must PASS")
+        best_only = copy.deepcopy(baseline)
+        best_only["queries"][2]["index_ops_per_sec"] /= 2.0
+        with open(os.path.join(cur_dir, "BENCH_alloc.json"), "w") as f:
+            json.dump(best_only, f)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if failures:
+            print("self-test FAILED: an ungated row tripped the gate")
+            return 1
+        print("  gate ignored the ungated row as expected")
+    print("self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="directory holding the baseline JSONs")
+    parser.add_argument("--current", help="directory holding the fresh JSONs")
+    parser.add_argument("--threshold", type=float, default=THRESHOLD_DEFAULT,
+                        help="maximum tolerated fractional regression")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate trips on a synthetic 2x slowdown")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required (or --self-test)")
+    if not os.path.isdir(args.baseline):
+        print(f"no baseline directory at {args.baseline}: first run, passing")
+        sys.exit(0)
+
+    failures = compare(args.baseline, args.current, args.threshold)
+    if failures:
+        print("\nFAIL: throughput regressions beyond "
+              f"{args.threshold:.0%} of baseline:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print("\nbench gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,15 @@ void Allocator::finalize_placement(Placement& placement, const mesh::Geometry& g
     throw std::logic_error("Allocator: placement holds fewer processors than requested");
 }
 
+bool Allocator::can_allocate_with_free(
+    const Request& req, const std::vector<mesh::SubMesh>& released) const {
+  if (released.empty()) return can_allocate(req);
+  validate_request(req, geometry());
+  std::int64_t extra = 0;
+  for (const mesh::SubMesh& s : released) extra += s.area();
+  return free_processors() + extra >= req.processors;
+}
+
 void validate_request(const Request& req, const mesh::Geometry& geom) {
   if (req.width <= 0 || req.length <= 0 || req.processors <= 0)
     throw std::invalid_argument("Request: non-positive dimensions");

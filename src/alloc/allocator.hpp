@@ -67,6 +67,21 @@ class Allocator {
   /// allocator state (Random's RNG included).
   [[nodiscard]] virtual bool can_allocate(const Request& req) const = 0;
 
+  /// The probe-at-instant: true iff allocate(req) would succeed once every
+  /// node of `released` (blocks of running jobs projected to finish by then)
+  /// had been returned to the free pool. Reservation-aware schedulers use it
+  /// to place a blocked job's reservation at a *shape-feasible* release
+  /// instant instead of a merely count-feasible one. With an empty
+  /// `released` this is exactly can_allocate(req).
+  ///
+  /// The default is the count model every non-contiguous strategy's
+  /// can_allocate already uses (free + released area >= need) — exact for
+  /// them, an optimistic approximation for strategies whose feasibility
+  /// depends on arrangement; the contiguous baselines override it with a
+  /// hypothetical-occupancy index query, which is exact.
+  [[nodiscard]] virtual bool can_allocate_with_free(
+      const Request& req, const std::vector<mesh::SubMesh>& released) const;
+
   /// Returns a placement obtained from allocate() on this allocator.
   virtual void release(const Placement& placement) = 0;
 

@@ -35,6 +35,17 @@ bool ContiguousAllocator::can_allocate(const Request& req) const {
   return index().first_fit_rotatable(a, b).has_value();
 }
 
+bool ContiguousAllocator::can_allocate_with_free(
+    const Request& req, const std::vector<mesh::SubMesh>& released) const {
+  if (released.empty()) return can_allocate(req);  // no bitmap copy needed
+  validate_request(req, geometry());
+  const std::int32_t a = std::min(req.width, geometry().width());
+  const std::int32_t b = std::min(req.length, geometry().length());
+  // Same rotation-symmetric feasibility as can_allocate, on the bitmap with
+  // the released blocks OR-ed back in.
+  return index().first_fit_rotatable_assuming_free(a, b, released).has_value();
+}
+
 void ContiguousAllocator::release(const Placement& placement) {
   for (const mesh::SubMesh& blk : placement.blocks) vacate(blk);
 }

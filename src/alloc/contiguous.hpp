@@ -21,6 +21,10 @@ class ContiguousAllocator final : public Allocator {
 
   [[nodiscard]] std::optional<Placement> allocate(const Request& req) override;
   [[nodiscard]] bool can_allocate(const Request& req) const override;
+  /// Exact: one hypothetical-occupancy index query (the scheduler's
+  /// shape-aware reservation probe).
+  [[nodiscard]] bool can_allocate_with_free(
+      const Request& req, const std::vector<mesh::SubMesh>& released) const override;
   void release(const Placement& placement) override;
   [[nodiscard]] std::string name() const override {
     return policy_ == ContiguousPolicy::kFirstFit ? "FirstFit" : "BestFit";

@@ -83,6 +83,16 @@ bool GablAllocator::can_allocate(const Request& req) const {
   return free_processors() >= static_cast<std::int64_t>(req.width) * req.length;
 }
 
+bool GablAllocator::can_allocate_with_free(
+    const Request& req, const std::vector<mesh::SubMesh>& released) const {
+  if (released.empty()) return can_allocate(req);
+  validate_request(req, geometry());
+  // The base's count model, but against GABL's bounding-area guard.
+  std::int64_t extra = 0;
+  for (const mesh::SubMesh& s : released) extra += s.area();
+  return free_processors() + extra >= static_cast<std::int64_t>(req.width) * req.length;
+}
+
 void GablAllocator::release(const Placement& placement) {
   for (const mesh::SubMesh& blk : placement.blocks) {
     const auto it = busy_slot_.find(blk);

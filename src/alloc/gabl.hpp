@@ -34,6 +34,9 @@ class GablAllocator final : public Allocator {
 
   [[nodiscard]] std::optional<Placement> allocate(const Request& req) override;
   [[nodiscard]] bool can_allocate(const Request& req) const override;
+  /// Count model against GABL's bounding-area (w×l) guard.
+  [[nodiscard]] bool can_allocate_with_free(
+      const Request& req, const std::vector<mesh::SubMesh>& released) const override;
   void release(const Placement& placement) override;
   [[nodiscard]] std::string name() const override { return "GABL"; }
   [[nodiscard]] bool is_noncontiguous() const override { return true; }

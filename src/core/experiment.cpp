@@ -112,7 +112,17 @@ RunMetrics run_once(const ExperimentConfig& cfg) {
   SystemConfig sys = cfg.sys;
   sys.seed = cfg.seed ^ 0x5EEDF00DULL;
   SystemSim sim(sys, *allocator, *scheduler);
-  return sim.run(*source);
+  // The per-job record stream feeds the fairness analytics. Collection is
+  // observation-only (MetricsSink contract), so attaching the sink cannot
+  // change a single simulated event.
+  stats::JobMetrics job_metrics;
+  sim.set_metrics_sink(&job_metrics);
+  RunMetrics m = sim.run(*source);
+  m.jobs.wait = job_metrics.wait();
+  m.jobs.turnaround = job_metrics.turnaround();
+  m.jobs.slowdown = job_metrics.bounded_slowdown();
+  m.jobs.starved = static_cast<double>(job_metrics.starvation().count());
+  return m;
 }
 
 std::map<std::string, double> to_observations(const RunMetrics& m) {
@@ -124,7 +134,35 @@ std::map<std::string, double> to_observations(const RunMetrics& m) {
       {"blocking", m.packet_blocking.mean()},
       {"hops", m.packet_hops.mean()},
       {"queue_length", m.mean_queue_length},
+      // Per-job fairness analytics (stats::JobMetrics over the JobRecord
+      // stream). Excluded from the replication stopping rule — see
+      // precision_observation_names().
+      {"wait_mean", m.jobs.wait.mean},
+      {"wait_p50", m.jobs.wait.p50},
+      {"wait_p95", m.jobs.wait.p95},
+      {"wait_p99", m.jobs.wait.p99},
+      {"wait_max", m.jobs.wait.max},
+      {"turnaround_p50", m.jobs.turnaround.p50},
+      {"turnaround_p95", m.jobs.turnaround.p95},
+      {"turnaround_p99", m.jobs.turnaround.p99},
+      {"turnaround_max", m.jobs.turnaround.max},
+      {"slowdown_p50", m.jobs.slowdown.p50},
+      {"slowdown_p95", m.jobs.slowdown.p95},
+      {"slowdown_p99", m.jobs.slowdown.p99},
+      {"slowdown_max", m.jobs.slowdown.max},
+      {"starved", m.jobs.starved},
   };
+}
+
+std::vector<std::string> precision_observation_names() {
+  // The paper's aggregate metrics — exactly the observation set that existed
+  // before the per-job analytics, so the 95 %/5 % stopping rule sees the
+  // same accumulators it always has. Tail quantiles and starvation counts
+  // are deliberately absent: a P99's relative error would inflate
+  // replication counts (and shift every fixed-seed CSV) without improving
+  // the means the figures plot.
+  return {"turnaround", "service",      "utilization", "latency",
+          "blocking",   "hops",         "queue_length"};
 }
 
 std::vector<std::string> known_metrics() {
@@ -136,7 +174,10 @@ std::vector<std::string> known_metrics() {
 AggregateResult run_replicated(const ExperimentConfig& cfg,
                                const stats::ReplicationPolicy& policy,
                                util::ThreadPool* pool) {
-  const stats::ParallelReplicationRunner runner(policy, pool);
+  stats::ReplicationPolicy gated = policy;
+  if (gated.precision_metrics.empty())
+    gated.precision_metrics = precision_observation_names();
+  const stats::ParallelReplicationRunner runner(gated, pool);
   const stats::ReplicationController controller =
       runner.run([&cfg](std::uint64_t rep) {
         ExperimentConfig rep_cfg = cfg;

@@ -98,13 +98,22 @@ struct ExperimentConfig {
 [[nodiscard]] RunMetrics run_once(const ExperimentConfig& cfg);
 
 /// Scalar per-replication observations, keyed by the metric names used
-/// throughout the benches: turnaround, service, utilization, latency,
-/// blocking, queue_length.
+/// throughout the benches: the paper's aggregates (turnaround, service,
+/// utilization, latency, blocking, hops, queue_length) plus the per-job
+/// fairness analytics (wait_mean/p50/p95/p99/max, turnaround_p50/p95/p99/max,
+/// slowdown_p50/p95/p99/max, starved).
 [[nodiscard]] std::map<std::string, double> to_observations(const RunMetrics& m);
 
 /// The metric names to_observations emits — what run_grid/run_figure accept;
 /// drivers validate --metric against this before spending any compute.
 [[nodiscard]] std::vector<std::string> known_metrics();
+
+/// The subset of observation names the replication stopping rule gates on:
+/// the paper's aggregate metrics, exactly as before the per-job analytics
+/// existed. run_replicated pins ReplicationPolicy::precision_metrics to this
+/// set when the caller left it empty, so quantile/starvation observations
+/// ride along without ever changing a cell's replication count.
+[[nodiscard]] std::vector<std::string> precision_observation_names();
 
 /// Replicated experiment: reruns with per-replication RNG substream seeds
 /// (des::substream_seed) until the policy's 95 % / 5 % precision target

@@ -134,8 +134,15 @@ void run_grid(const GridSpec& spec, const RunOptions& opts, std::ostream& out,
     cfg.seed = opts.seed;
     const AggregateResult res = run_replicated(cfg, policy);
     const auto it = res.metrics.find(spec.metric);
-    if (it == res.metrics.end())
-      throw std::logic_error("run_grid: unknown metric " + spec.metric);
+    if (it == res.metrics.end()) {
+      std::string known;
+      for (const std::string& m : known_metrics()) {
+        if (!known.empty()) known += ", ";
+        known += m;
+      }
+      throw std::logic_error("run_grid: unknown metric " + spec.metric +
+                             " (known: " + known + ")");
+    }
     grid[idx] = it->second;
   };
 

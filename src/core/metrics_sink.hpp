@@ -1,0 +1,56 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace procsim::core {
+
+/// One completed job, as the simulator observed it — the per-job record
+/// stream behind the fairness/starvation analytics. Emitted by SystemSim at
+/// completion time (after the warmup threshold, like every other metric), so
+/// a sink sees exactly the jobs the run's aggregate statistics cover.
+struct JobRecord {
+  std::uint64_t id{0};
+  double arrival{0};  ///< submission instant
+  double start{0};    ///< allocation instant (processors granted)
+  double finish{0};   ///< last delivery / completion instant
+  double demand{0};   ///< the job's SSD key (known service demand estimate)
+
+  // Requested shape.
+  std::int32_t width{0};       ///< requested sub-mesh width a
+  std::int32_t length{0};      ///< requested sub-mesh length b
+  std::int32_t processors{0};  ///< computing processors requested
+
+  // Allocated shape.
+  std::int32_t allocated{0};     ///< processors actually held (>= processors
+                                 ///< under internal fragmentation)
+  std::int32_t alloc_blocks{0};  ///< disjoint rectangles of the placement
+  std::int32_t alloc_width{0};   ///< single-block placements: its dimensions;
+  std::int32_t alloc_length{0};  ///< 0x0 when the placement is fragmented
+
+  [[nodiscard]] double wait() const noexcept { return start - arrival; }
+  [[nodiscard]] double service() const noexcept { return finish - start; }
+  [[nodiscard]] double turnaround() const noexcept { return finish - arrival; }
+
+  /// Bounded slowdown (Feitelson's stretch with a runtime floor): turnaround
+  /// over service, with service clamped to `tau` so near-instant jobs do not
+  /// report astronomic ratios, and the whole value floored at 1.
+  [[nodiscard]] double bounded_slowdown(double tau) const noexcept {
+    const double denom = std::max(service(), tau);
+    return denom > 0 ? std::max(turnaround() / denom, 1.0) : 1.0;
+  }
+};
+
+/// Pluggable observer of the simulator's per-job record stream. Sinks are
+/// observation-only by contract: SystemSim calls on_job() after a completion
+/// has been fully accounted, and nothing a sink does can feed back into
+/// scheduling, allocation or the RNG — attaching one never changes a single
+/// simulated event (the fixed-seed figure CSVs are byte-identical either
+/// way).
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void on_job(const JobRecord& record) = 0;
+};
+
+}  // namespace procsim::core

@@ -110,9 +110,19 @@ void SystemSim::try_schedule() {
     const workload::Job& job = queued_job(q.job_id);
     return allocator_.can_allocate(alloc::Request{job.width, job.length, job.processors});
   };
+  // The probe-at-instant companion: would the job fit once these running
+  // jobs' blocks were released? Also side-effect free (a hypothetical-bitmap
+  // query), so shape-aware reservations cost queries, never state.
+  const sched::ShapeProbe shape_fit =
+      [this](const sched::QueuedJob& q, const std::vector<mesh::SubMesh>& released) {
+        const workload::Job& job = queued_job(q.job_id);
+        return allocator_.can_allocate_with_free(
+            alloc::Request{job.width, job.length, job.processors}, released);
+      };
   for (;;) {
     const sched::SchedSnapshot snap{sim_.now(),
-                                    static_cast<std::int64_t>(allocator_.free_processors())};
+                                    static_cast<std::int64_t>(allocator_.free_processors()),
+                                    &shape_fit};
     const auto pos = scheduler_.select(probe, snap);
     if (!pos) break;
     const sched::QueuedJob candidate = scheduler_.job_at(*pos);
@@ -121,7 +131,7 @@ void SystemSim::try_schedule() {
     auto placement = allocator_.allocate(req);
     if (!placement) break;  // blocking semantics / a stale probe ends the pass
     const sched::QueuedJob taken = scheduler_.take(*pos);
-    scheduler_.on_start(taken, sim_.now(), placement->allocated);
+    scheduler_.on_start(taken, sim_.now(), placement->allocated, placement->blocks);
     queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
     start_job(job, std::move(*placement));
   }
@@ -203,6 +213,24 @@ void SystemSim::complete_job(std::uint64_t job_id) {
   if (measuring()) {
     metrics_.turnaround.add(now - rj.job.arrival);
     metrics_.service.add(now - rj.start_time);
+    if (sink_ != nullptr) {
+      JobRecord rec;
+      rec.id = job_id;
+      rec.arrival = rj.job.arrival;
+      rec.start = rj.start_time;
+      rec.finish = now;
+      rec.demand = rj.job.demand;
+      rec.width = rj.job.width;
+      rec.length = rj.job.length;
+      rec.processors = rj.job.processors;
+      rec.allocated = rj.placement.allocated;
+      rec.alloc_blocks = static_cast<std::int32_t>(rj.placement.blocks.size());
+      if (rj.placement.blocks.size() == 1) {
+        rec.alloc_width = rj.placement.blocks.front().width();
+        rec.alloc_length = rj.placement.blocks.front().length();
+      }
+      sink_->on_job(rec);
+    }
   }
   ++completed_;
   if (completed_ == cfg_.warmup_completions) {

@@ -7,11 +7,13 @@
 #include <vector>
 
 #include "alloc/allocator.hpp"
+#include "core/metrics_sink.hpp"
 #include "des/rng.hpp"
 #include "des/simulator.hpp"
 #include "network/traffic.hpp"
 #include "network/wormhole_network.hpp"
 #include "sched/scheduler.hpp"
+#include "stats/job_metrics.hpp"
 #include "stats/time_weighted.hpp"
 #include "stats/welford.hpp"
 #include "workload/job.hpp"
@@ -32,6 +34,17 @@ struct SystemConfig {
   std::uint64_t max_events{2'000'000'000};  ///< runaway guard
 };
 
+/// Per-job wait/slowdown distribution summary — the fairness view the means
+/// above hide. Filled by experiment::run_once, which attaches a
+/// stats::JobMetrics sink to the record stream; zero when a SystemSim is
+/// driven directly without one.
+struct JobDistributions {
+  stats::QuantileSummary wait;        ///< arrival -> allocation per job
+  stats::QuantileSummary turnaround;  ///< arrival -> departure per job
+  stats::QuantileSummary slowdown;    ///< bounded slowdown (stretch)
+  double starved{0};  ///< jobs waiting > starvation_factor × median wait
+};
+
 /// Everything one run measures — the paper's five performance parameters
 /// plus diagnostics.
 struct RunMetrics {
@@ -46,6 +59,7 @@ struct RunMetrics {
   double makespan{0};
   std::uint64_t events{0};
   std::uint64_t packets{0};
+  JobDistributions jobs;           ///< per-job fairness summary (see above)
 };
 
 /// Couples scheduler, allocator, wormhole network and a job stream into one
@@ -71,6 +85,12 @@ class SystemSim {
   /// Convenience wrapper: streams an eager job vector (must be sorted by
   /// arrival time) through the source path.
   [[nodiscard]] RunMetrics run(const std::vector<workload::Job>& jobs);
+
+  /// Attaches (or, with nullptr, detaches) the per-job record stream
+  /// observer. The sink outlives every run() it observes; it receives one
+  /// JobRecord per measured completion and can never influence the
+  /// simulation (see MetricsSink).
+  void set_metrics_sink(MetricsSink* sink) noexcept { sink_ = sink; }
 
  private:
   /// Messages one processor sends, in order, paced one-at-a-time: the next
@@ -106,6 +126,7 @@ class SystemSim {
   SystemConfig cfg_;
   alloc::Allocator& allocator_;
   sched::Scheduler& scheduler_;
+  MetricsSink* sink_{nullptr};  ///< optional per-job record observer
 
   // Per-run state (rebuilt in run()).
   des::Simulator sim_;

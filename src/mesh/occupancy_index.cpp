@@ -185,10 +185,11 @@ bool OccupancyIndex::is_free(const SubMesh& s) const {
   return true;
 }
 
-void OccupancyIndex::compute_run_row(std::int32_t y, std::int32_t a) const {
+void OccupancyIndex::compute_run_row(const std::uint64_t* bits, std::int32_t y,
+                                     std::int32_t a) const {
   // Doubling shift-AND: afterwards, bit x of the row mask is set iff bits
   // x .. x+a-1 of the row are all free.
-  const std::uint64_t* src = row(y);
+  const std::uint64_t* src = bits + static_cast<std::size_t>(y) * words_;
   std::uint64_t* r = runs_.data() + static_cast<std::size_t>(y) * words_;
   std::copy(src, src + words_, r);
   std::int32_t have = 1;
@@ -211,7 +212,8 @@ bool OccupancyIndex::window_into_win(std::int32_t y, std::int32_t b) const {
   return nonzero;
 }
 
-std::optional<SubMesh> OccupancyIndex::first_fit_impl(std::int32_t a,
+std::optional<SubMesh> OccupancyIndex::first_fit_impl(const std::uint64_t* bits,
+                                                      std::int32_t a,
                                                       std::int32_t b) const {
   if (a <= 0 || b <= 0) throw std::invalid_argument("first_fit: non-positive request");
   if (a > geom_.width() || b > geom_.length()) return std::nullopt;
@@ -222,7 +224,7 @@ std::optional<SubMesh> OccupancyIndex::first_fit_impl(std::int32_t a,
   // touches the rest of the mesh.
   std::int32_t ready = 0;
   for (std::int32_t y = 0; y + b <= geom_.length(); ++y) {
-    while (ready < y + b) compute_run_row(ready++, a);
+    while (ready < y + b) compute_run_row(bits, ready++, a);
     if (window_into_win(y, b))
       return SubMesh::from_base(Coord{lowest_bit(win_.data(), words_), y}, a, b);
   }
@@ -236,45 +238,42 @@ std::optional<SubMesh> OccupancyIndex::best_fit_impl(std::int32_t a,
   const std::int32_t W = geom_.width();
   const std::int32_t L = geom_.length();
   runs_.resize(free_.size());
-  for (std::int32_t y = 0; y < L; ++y) compute_run_row(y, a);
+  for (std::int32_t y = 0; y < L; ++y) compute_run_row(free_.data(), y, a);
   win_.resize(words_);
 
   // Scoring: a candidate's free border is the free-node count of its clipped
-  // ring, i.e. free(ring ∪ s) - area(s). colf_[x] caches, for the current
-  // window of rows [y-1, y+b] (out-of-mesh rows contribute nothing), the free
-  // nodes in column x; colp_ holds its prefix sums, making each candidate's
-  // score an O(1) window sum. The cache slides forward a row at a time, so a
-  // whole query costs O(W·L/64 + W) instead of a prefix-sum snapshot rebuild.
-  colf_.assign(static_cast<std::size_t>(W), 0);
-  colp_.assign(static_cast<std::size_t>(W) + 1, 0);
+  // ring, i.e. free(ring ∪ s) - area(s). bf_win_[x] holds the prefix sum of
+  // free nodes in columns [0, x) over the current window of rows [y-1, y+b]
+  // (out-of-mesh rows contribute nothing), making each candidate's score an
+  // O(1) window difference. The window is the sum of per-row prefix blocks
+  // from the generation-stamped cache — rows untouched since the last query
+  // (the common churn case) cost two vectorizable adds to enter/leave the
+  // window, never a bitmap rescan, and the serial colf_→colp_ prefix rebuild
+  // the old code ran per window row is gone entirely.
+  const std::size_t stride = static_cast<std::size_t>(W) + 1;
+  bf_win_.assign(stride, 0);
   std::int32_t cached_y = std::numeric_limits<std::int32_t>::min();
-  const auto adjust_row = [&](std::int32_t r, std::int32_t delta) {
+  const auto apply_row = [&](std::int32_t r, std::int32_t sign) {
     if (r < 0 || r >= L) return;
-    const std::uint64_t* words = row(r);
-    for (std::size_t i = 0; i < words_; ++i) {
-      std::uint64_t v = words[i];
-      while (v != 0) {
-        colf_[i * 64 + static_cast<std::size_t>(std::countr_zero(v))] += delta;
-        v &= v - 1;
-      }
-    }
+    const std::int32_t* p = ensure_rowpref(r);
+    if (sign > 0)
+      for (std::size_t x = 0; x < stride; ++x) bf_win_[x] += p[x];
+    else
+      for (std::size_t x = 0; x < stride; ++x) bf_win_[x] -= p[x];
   };
   const auto set_window = [&](std::int32_t y) {
     if (cached_y != std::numeric_limits<std::int32_t>::min() && y > cached_y &&
         y - cached_y <= b) {
       while (cached_y < y) {
-        adjust_row(cached_y - 1, -1);
+        apply_row(cached_y - 1, -1);
         ++cached_y;
-        adjust_row(cached_y + b, +1);
+        apply_row(cached_y + b, +1);
       }
     } else if (cached_y != y) {
-      std::fill(colf_.begin(), colf_.end(), 0);
-      for (std::int32_t r = y - 1; r <= y + b; ++r) adjust_row(r, +1);
+      std::fill(bf_win_.begin(), bf_win_.end(), 0);
+      for (std::int32_t r = y - 1; r <= y + b; ++r) apply_row(r, +1);
       cached_y = y;
     }
-    for (std::int32_t x = 0; x < W; ++x)
-      colp_[static_cast<std::size_t>(x) + 1] =
-          colp_[static_cast<std::size_t>(x)] + colf_[static_cast<std::size_t>(x)];
   };
 
   std::optional<SubMesh> best;
@@ -290,8 +289,8 @@ std::optional<SubMesh> OccupancyIndex::best_fit_impl(std::int32_t a,
         v &= v - 1;
         const std::int32_t c1 = std::max(x - 1, 0);
         const std::int32_t c2 = std::min(x + a, W - 1);
-        const std::int32_t score = colp_[static_cast<std::size_t>(c2) + 1] -
-                                   colp_[static_cast<std::size_t>(c1)] - a * b;
+        const std::int32_t score = bf_win_[static_cast<std::size_t>(c2) + 1] -
+                                   bf_win_[static_cast<std::size_t>(c1)] - a * b;
         if (score < best_score) {
           best_score = score;
           best = SubMesh::from_base(Coord{x, y}, a, b);
@@ -300,6 +299,29 @@ std::optional<SubMesh> OccupancyIndex::best_fit_impl(std::int32_t a,
     }
   }
   return best;
+}
+
+const std::int32_t* OccupancyIndex::ensure_rowpref(std::int32_t y) const {
+  const std::size_t stride = static_cast<std::size_t>(geom_.width()) + 1;
+  if (bf_rowpref_.empty()) {
+    bf_rowpref_.assign(static_cast<std::size_t>(geom_.length()) * stride, 0);
+    bf_rowpref_gen_.assign(static_cast<std::size_t>(geom_.length()), 0);
+    // Stamp 0 is never valid: clear() dirties every row, so row_gen_ >= 1.
+  }
+  const std::size_t yi = static_cast<std::size_t>(y);
+  std::int32_t* p = bf_rowpref_.data() + yi * stride;
+  if (bf_rowpref_gen_[yi] != row_gen_[yi]) {
+    const std::uint64_t* r = row(y);
+    std::int32_t acc = 0;
+    p[0] = 0;
+    for (std::int32_t x = 0; x < geom_.width(); ++x) {
+      acc += static_cast<std::int32_t>(
+          (r[static_cast<std::size_t>(x) / 64] >> (x % 64)) & 1u);
+      p[x + 1] = acc;
+    }
+    bf_rowpref_gen_[yi] = row_gen_[yi];
+  }
+  return p;
 }
 
 const std::uint64_t* OccupancyIndex::ensure_lf_level(std::int32_t w) const {
@@ -405,13 +427,50 @@ std::optional<SubMesh> OccupancyIndex::largest_free_impl(std::int32_t max_w,
 }
 
 std::optional<SubMesh> OccupancyIndex::first_fit(std::int32_t a, std::int32_t b) const {
-  const auto got = first_fit_impl(a, b);
+  const auto got = first_fit_impl(free_.data(), a, b);
   if (cross_check_enabled()) {
     const FreeSubmeshScan oracle(to_mesh_state());
     const auto want = oracle.first_fit(a, b);
     if (got != want) report_divergence("first_fit", a, b, got, want);
   }
   return got;
+}
+
+std::optional<SubMesh> OccupancyIndex::first_fit_assuming_free(
+    std::int32_t a, std::int32_t b, const std::vector<SubMesh>& extra_free) const {
+  assume_ = free_;
+  for (const SubMesh& s : extra_free) {
+    check_inside(s);
+    const std::size_t w1 = static_cast<std::size_t>(s.x1) / 64;
+    const std::size_t w2 = static_cast<std::size_t>(s.x2) / 64;
+    for (std::int32_t y = s.y1; y <= s.y2; ++y) {
+      std::uint64_t* r = assume_.data() + static_cast<std::size_t>(y) * words_;
+      for (std::size_t w = w1; w <= w2; ++w)
+        r[w] |= bit_range(w == w1 ? s.x1 % 64 : 0, w == w2 ? s.x2 % 64 : 63);
+    }
+  }
+  const auto got = first_fit_impl(assume_.data(), a, b);
+  if (cross_check_enabled()) {
+    // Oracle on the same hypothetical occupancy, rebuilt per node.
+    MeshState state(geom_);
+    for (std::int32_t y = 0; y < geom_.length(); ++y)
+      for (std::int32_t x = 0; x < geom_.width(); ++x)
+        if ((assume_[static_cast<std::size_t>(y) * words_ +
+                     static_cast<std::size_t>(x) / 64] &
+             (std::uint64_t{1} << (x % 64))) == 0)
+          state.allocate(geom_.id(Coord{x, y}));
+    const FreeSubmeshScan oracle(state);
+    const auto want = oracle.first_fit(a, b);
+    if (got != want) report_divergence("first_fit_assuming_free", a, b, got, want);
+  }
+  return got;
+}
+
+std::optional<SubMesh> OccupancyIndex::first_fit_rotatable_assuming_free(
+    std::int32_t a, std::int32_t b, const std::vector<SubMesh>& extra_free) const {
+  if (auto s = first_fit_assuming_free(a, b, extra_free)) return s;
+  if (a != b) return first_fit_assuming_free(b, a, extra_free);
+  return std::nullopt;
 }
 
 std::optional<SubMesh> OccupancyIndex::first_fit_rotatable(std::int32_t a,

@@ -69,8 +69,32 @@ class OccupancyIndex {
   [[nodiscard]] std::optional<SubMesh> first_fit_rotatable(std::int32_t a,
                                                            std::int32_t b) const;
 
+  /// First-fit on a *hypothetical* occupancy: the current bitmap with every
+  /// node of `extra_free` additionally marked free (blocks may be busy, free
+  /// or overlapping — the union is what counts). This is the scheduler's
+  /// probe-at-instant: "would an a×b sub-mesh fit once these running jobs'
+  /// blocks are released?" answered without mutating the index, in one
+  /// bitmap copy + the standard scan. Same scan order and tie-breaking as
+  /// first_fit on a real occupancy (the shape-aware backfill tests replay
+  /// the releases for real and compare).
+  [[nodiscard]] std::optional<SubMesh> first_fit_assuming_free(
+      std::int32_t a, std::int32_t b, const std::vector<SubMesh>& extra_free) const;
+
+  /// Rotatable variant of the hypothetical-occupancy first fit.
+  [[nodiscard]] std::optional<SubMesh> first_fit_rotatable_assuming_free(
+      std::int32_t a, std::int32_t b, const std::vector<SubMesh>& extra_free) const;
+
   /// Best-fit: among all free a×b placements, the one bordered by the fewest
   /// free nodes; ties resolve to the lowest row-major base.
+  ///
+  /// Candidate scoring reads per-row free-count prefix sums from a
+  /// generation-stamped cache maintained in lock-step with allocate/release
+  /// (the stamps are bumped there; a stale row recomputes on first use), so
+  /// repeat queries under churn reuse every untouched row instead of
+  /// rebuilding column counts from the bitmap per query — the ROADMAP's
+  /// "maintain column counts incrementally" item. Answers are bit-identical
+  /// to the rebuild-per-query path (a cached row is a pure function of the
+  /// row's free bits; oracle equivalence and cross-check cover it).
   [[nodiscard]] std::optional<SubMesh> best_fit(std::int32_t a, std::int32_t b) const;
 
   /// Largest-area free sub-mesh with width <= max_w, length <= max_l and
@@ -111,12 +135,15 @@ class OccupancyIndex {
   [[nodiscard]] std::int32_t free_in_row_range(std::int32_t y, std::int32_t c1,
                                                std::int32_t c2) const;
   /// Fills runs_ row `y` with the mask of columns where a run of `a` free
-  /// bits starts (caller sizes runs_ to free_.size() first).
-  void compute_run_row(std::int32_t y, std::int32_t a) const;
+  /// bits starts, reading the occupancy from `bits` (free_.data() for the
+  /// real bitmap, assume_.data() for hypothetical queries; caller sizes
+  /// runs_ to free_.size() first).
+  void compute_run_row(const std::uint64_t* bits, std::int32_t y, std::int32_t a) const;
   /// win_ = AND of runs_ rows [y, y+b); false (with early exit) if empty.
   [[nodiscard]] bool window_into_win(std::int32_t y, std::int32_t b) const;
 
-  [[nodiscard]] std::optional<SubMesh> first_fit_impl(std::int32_t a,
+  [[nodiscard]] std::optional<SubMesh> first_fit_impl(const std::uint64_t* bits,
+                                                      std::int32_t a,
                                                       std::int32_t b) const;
   [[nodiscard]] std::optional<SubMesh> best_fit_impl(std::int32_t a,
                                                      std::int32_t b) const;
@@ -133,6 +160,10 @@ class OccupancyIndex {
   /// Marks row `y`'s cached run masks stale (occupancy changed).
   void dirty_row(std::int32_t y) { row_gen_[static_cast<std::size_t>(y)] = ++gen_counter_; }
 
+  /// Validates (recomputing iff the row's stamp is stale) and returns row
+  /// `y`'s free-count prefix block: entry x = free nodes in columns [0, x).
+  [[nodiscard]] const std::int32_t* ensure_rowpref(std::int32_t y) const;
+
   Geometry geom_;
   std::size_t words_;             ///< 64-bit words per row
   std::uint64_t tail_mask_;       ///< valid bits of the last word of a row
@@ -147,13 +178,18 @@ class OccupancyIndex {
   // Query scratch, reused across calls (see class comment on thread-safety).
   mutable std::vector<std::uint64_t> runs_;  ///< per-row run-start masks
   mutable std::vector<std::uint64_t> win_;   ///< height-b window AND
+  mutable std::vector<std::uint64_t> assume_;  ///< hypothetical-occupancy bitmap
   mutable std::vector<std::uint64_t> lf_c_;  ///< largest_free: window AND
   mutable std::vector<std::int32_t> lf_active_;  ///< rows with live windows
   mutable std::vector<std::vector<std::uint64_t>> lf_levels_;    ///< R_w blocks
   mutable std::vector<std::vector<std::uint64_t>> lf_level_gen_; ///< stamps
   mutable std::vector<std::vector<std::uint8_t>> lf_level_nz_;   ///< row has runs?
-  mutable std::vector<std::int32_t> colf_;   ///< best_fit: free count per column
-  mutable std::vector<std::int32_t> colp_;   ///< best_fit: prefix sums of colf_
+  // best_fit scoring cache: per-row within-row free-count prefix sums,
+  // valid iff the row's stamp matches row_gen_ (so allocate/release keep it
+  // incrementally current), plus the sliding window column sums.
+  mutable std::vector<std::int32_t> bf_rowpref_;        ///< L × (W+1) prefix blocks
+  mutable std::vector<std::uint64_t> bf_rowpref_gen_;   ///< per-row stamps
+  mutable std::vector<std::int32_t> bf_win_;  ///< Σ rowpref over window rows
 };
 
 }  // namespace procsim::mesh

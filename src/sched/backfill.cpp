@@ -1,28 +1,128 @@
 #include "sched/backfill.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace procsim::sched {
 
+namespace {
+
+/// Free processors as a right-continuous step function of time: avail(t) is
+/// the value of the last step at or before t, the final step extending to
+/// infinity. Built per conservative pass from the running set's estimated
+/// releases; reservations subtract capacity over their interval.
+class CapacityProfile {
+ public:
+  CapacityProfile(double now, std::int64_t avail) { steps_.push_back({now, avail}); }
+
+  /// Capacity returning to the pool at `t` (>= the origin), e.g. a running
+  /// job's estimated release. Must be fed in non-decreasing `t` order.
+  void add_release(double t, std::int64_t procs) {
+    if (steps_.back().t == t) {
+      steps_.back().avail += procs;
+      return;
+    }
+    steps_.push_back({t, steps_.back().avail + procs});
+  }
+
+  /// Earliest start >= `from` at which `procs` processors stay available for
+  /// `duration`. Always exists: the final step has every reservation-free
+  /// processor back (a reservation-only subtraction ends).
+  [[nodiscard]] double earliest_fit(double from, std::int64_t procs,
+                                    double duration) const {
+    std::size_t i = step_at(from);
+    for (;;) {
+      const double start = std::max(from, steps_[i].t);
+      const double end = start + duration;
+      // Scan the steps the interval [start, end) overlaps.
+      std::size_t j = i;
+      bool ok = steps_[i].avail >= procs;
+      while (ok && j + 1 < steps_.size() && steps_[j + 1].t < end) {
+        ++j;
+        ok = steps_[j].avail >= procs;
+      }
+      if (ok) return start;
+      // Restart after the violating step.
+      i = j + 1;
+      if (i >= steps_.size()) return steps_.back().t;  // unreachable by contract
+    }
+  }
+
+  /// Subtracts `procs` over [t, t + duration) — a reservation.
+  void reserve(double t, double duration, std::int64_t procs) {
+    if (duration <= 0 || procs <= 0) return;
+    split_at(t);
+    split_at(t + duration);
+    for (std::size_t i = step_at(t); i < steps_.size() && steps_[i].t < t + duration;
+         ++i)
+      steps_[i].avail -= procs;
+  }
+
+ private:
+  struct Step {
+    double t;
+    std::int64_t avail;
+  };
+
+  /// Index of the step active at `t` (t >= origin by construction).
+  [[nodiscard]] std::size_t step_at(double t) const {
+    std::size_t i = 0;
+    while (i + 1 < steps_.size() && steps_[i + 1].t <= t) ++i;
+    return i;
+  }
+
+  void split_at(double t) {
+    if (t <= steps_.front().t) return;
+    const std::size_t i = step_at(t);
+    if (steps_[i].t == t) return;
+    steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  Step{t, steps_[i].avail});
+  }
+
+  std::vector<Step> steps_;
+};
+
+}  // namespace
+
 std::optional<std::size_t> BackfillScheduler::select(const AllocProbe& probe,
                                                      const SchedSnapshot& snap) {
+  return opts_.conservative ? select_conservative(probe, snap)
+                            : select_easy(probe, snap);
+}
+
+std::optional<std::size_t> BackfillScheduler::select_easy(const AllocProbe& probe,
+                                                          const SchedSnapshot& snap) {
   if (empty()) return std::nullopt;
   const QueuedJob head = job_at(0);
   if (probe(head)) return 0;
+  const bool use_shape = opts_.shape_aware && snap.shape_fit != nullptr;
 
   // The head is blocked: place its reservation. Walk the running jobs in
   // estimated-finish order accumulating released processors until the head's
-  // request is covered; that instant is the shadow time, and whatever exceeds
-  // the head's need there is the backfill slack ("extra" processors).
+  // request is covered — and, shape-aware, until its sub-mesh actually fits
+  // the projected occupancy; that instant is the shadow time, and whatever
+  // exceeds the head's need there is the backfill slack ("extra"
+  // processors).
   double shadow = snap.now;
   std::int64_t avail = snap.free_processors;
   const std::int64_t head_need = head.processors;
-  bool reachable = avail >= head_need;
+  released_scratch_.clear();
+  // Right now the probe already failed, so shape-aware the head does not
+  // fit; count-based it may (fragmentation), in which case the shadow stays
+  // at `now` exactly as before.
+  bool reachable = !use_shape && avail >= head_need;
   if (!reachable) {
     for (const Running& r : running_) {  // ordered by (finish_estimate, id)
       avail += r.allocated;
       shadow = r.finish_estimate;
-      if (avail >= head_need) {
+      if (use_shape) {
+        released_scratch_.insert(released_scratch_.end(), r.blocks.begin(),
+                                 r.blocks.end());
+        if (avail >= head_need && (*snap.shape_fit)(head, released_scratch_)) {
+          reachable = true;
+          break;
+        }
+      } else if (avail >= head_need) {
         reachable = true;
         break;
       }
@@ -45,9 +145,64 @@ std::optional<std::size_t> BackfillScheduler::select(const AllocProbe& probe,
   return std::nullopt;
 }
 
+std::optional<std::size_t> BackfillScheduler::select_conservative(
+    const AllocProbe& probe, const SchedSnapshot& snap) {
+  if (empty()) return std::nullopt;
+  // Fast path shared with every discipline: a fitting head starts.
+  if (probe(job_at(0))) return 0;
+  const bool use_shape = opts_.shape_aware && snap.shape_fit != nullptr;
+
+  // Build the availability profile from the running set. Overdue estimates
+  // (still running past start + demand) release "any moment now".
+  CapacityProfile profile(snap.now, snap.free_processors);
+  for (const Running& r : running_)
+    profile.add_release(std::max(r.finish_estimate, snap.now), r.allocated);
+
+  // Walk the queue in FCFS order, reserving every job's earliest feasible
+  // slot. A job whose slot is *now* (and whose real allocation the probe
+  // approves) is nominated; anything later holds its reservation so no
+  // later candidate can take capacity from under it.
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const QueuedJob c = job_at(i);
+    double t = profile.earliest_fit(snap.now, c.processors, c.demand);
+    if (t <= snap.now && probe(c)) return i;
+    if (use_shape) {
+      // The job cannot start now, so its reservation must sit at a
+      // *shape-feasible* instant — including when the count model says it
+      // fits right now but no rectangle exists (the contiguous baselines'
+      // fragmentation case, exactly what ;shape is for). Advance through
+      // the running releases until the job's sub-mesh fits the blocks
+      // released by then. Reservations of queued jobs are invisible to the
+      // bitmap (their placements are unknown), so this refinement is exact
+      // against the running set and count-based against the queue.
+      released_scratch_.clear();
+      auto it = running_.begin();
+      for (; it != running_.end(); ++it) {
+        if (std::max(it->finish_estimate, snap.now) > t) break;
+        released_scratch_.insert(released_scratch_.end(), it->blocks.begin(),
+                                 it->blocks.end());
+      }
+      while (it != running_.end() && !(*snap.shape_fit)(c, released_scratch_)) {
+        const double next_release = std::max(it->finish_estimate, snap.now);
+        t = profile.earliest_fit(std::max(t, next_release), c.processors, c.demand);
+        for (; it != running_.end() &&
+               std::max(it->finish_estimate, snap.now) <= t;
+             ++it)
+          released_scratch_.insert(released_scratch_.end(), it->blocks.begin(),
+                                   it->blocks.end());
+      }
+    }
+    profile.reserve(t, c.demand, c.processors);
+  }
+  return std::nullopt;
+}
+
 void BackfillScheduler::on_start(const QueuedJob& job, double now,
-                                 std::int64_t allocated) {
-  const auto it = running_.insert(Running{now + job.demand, job.job_id, allocated});
+                                 std::int64_t allocated,
+                                 const std::vector<mesh::SubMesh>& blocks) {
+  const auto it =
+      running_.insert(Running{now + job.demand, job.job_id, allocated, blocks});
   slot_.emplace(job.job_id, it);
 }
 
@@ -56,6 +211,13 @@ void BackfillScheduler::on_complete(std::uint64_t job_id, double) {
   if (it == slot_.end()) return;
   running_.erase(it->second);
   slot_.erase(it);
+}
+
+std::string BackfillScheduler::name() const {
+  std::string n = "backfill";
+  if (opts_.conservative) n += ":conservative";
+  if (opts_.shape_aware) n += ";shape";
+  return n;
 }
 
 void BackfillScheduler::clear() {

@@ -3,45 +3,77 @@
 #include <cstdint>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "sched/fifo_base.hpp"
 
 namespace procsim::sched {
 
-/// EASY-style (aggressive) backfilling — Lifka's Extensible Argonne
-/// Scheduler, the batch-scheduling baseline of Casanova et al.: FCFS order
-/// with a single reservation, for the blocked head only. (Conservative
-/// backfilling, which reserves for *every* waiting job, is a different
-/// discipline — see the ROADMAP's open items.)
+/// Which backfilling discipline a BackfillScheduler runs.
+struct BackfillOptions {
+  /// false: EASY-style (aggressive) backfilling — Lifka's Extensible Argonne
+  /// Scheduler, one reservation for the blocked head only. true:
+  /// conservative backfilling — *every* queued job gets a reservation
+  /// (computed against a processor-availability profile), and a job may
+  /// start out of order only when doing so delays none of them.
+  bool conservative{false};
+  /// When the simulator provides a shape probe (SchedSnapshot::shape_fit),
+  /// place reservations at instants where the blocked job's sub-mesh
+  /// actually fits the projected occupancy — the running jobs' blocks
+  /// released by then OR-ed back into the bitmap — instead of instants where
+  /// merely enough nodes are free. Matters for the contiguous baselines,
+  /// whose external fragmentation makes counts optimistic; without a probe
+  /// (or for count-exact strategies) behaviour degrades gracefully to the
+  /// count model.
+  bool shape_aware{false};
+};
+
+/// Backfilling over the paper's FCFS base order, in two variants.
 ///
-/// When the head cannot be allocated, its reservation ("shadow time") is the
-/// earliest instant the running jobs' estimated completions free enough
-/// processors for it; each queued job's known `demand` serves as the runtime
-/// estimate (the paper's SSD key — the real service time remains an output
-/// of network contention, so estimates are exactly as accurate as SSD's
-/// ordering key). A later job may overtake the head only if it fits right
-/// now (the probe) and cannot delay the reservation: it either finishes (by
-/// its own estimate) before the shadow time, or it needs no more than the
-/// processors left over at the shadow time after the head is seated.
+/// **EASY** (the default): when the head cannot be allocated, its
+/// reservation ("shadow time") is the earliest instant the running jobs'
+/// estimated completions free enough processors for it; each queued job's
+/// known `demand` serves as the runtime estimate (the paper's SSD key — the
+/// real service time remains an output of network contention, so estimates
+/// are exactly as accurate as SSD's ordering key). A later job may overtake
+/// the head only if it fits right now (the probe) and cannot delay the
+/// reservation: it either finishes (by its own estimate) before the shadow
+/// time, or it needs no more than the processors left over at the shadow
+/// time after the head is seated.
+///
+/// **Conservative**: every pass rebuilds an availability profile (free
+/// processors as a step function of time, fed by the running set's estimated
+/// releases) and walks the queue in order, granting each job the earliest
+/// profile slot that holds its processors for its estimated duration and
+/// then subtracting that slot from the profile. A job is nominated iff its
+/// own reserved start is *now* — so no nomination can push any
+/// earlier-queued job's reservation back, the defining guarantee
+/// (starvation-free by construction, at the cost of backfill opportunities
+/// EASY would take).
 ///
 /// Processor arithmetic is count-based, in the job's *compute* processor
 /// count (QueuedJob::processors — what the non-contiguous strategies
-/// actually allocate by) against the running jobs' exact held counts. That
-/// makes the reservation exact for Paging(0), MBS and Random; for the
-/// contiguous baselines fragmentation can block a request despite a
-/// sufficient count, and for strategies with internal fragmentation
-/// (Paging(k>0) pages, GABL's bounding box) a backfilled candidate may hold
-/// somewhat more than its requested count — both documented approximations
-/// of this count-based model.
+/// actually allocate by) against the running jobs' exact held counts; exact
+/// for Paging(0), MBS and Random, optimistic under external (contiguous
+/// baselines) or internal (Paging(k>0), GABL) fragmentation. The shape_aware
+/// option replaces the optimistic count at reservation instants with an
+/// exact hypothetical-occupancy fit query where the simulator provides one —
+/// reservations against *queued* jobs' hypothetical placements remain
+/// count-based (nobody knows where they will land).
 class BackfillScheduler final : public FifoBase {
  public:
+  explicit BackfillScheduler(BackfillOptions opts = {}) : opts_(opts) {}
+
   [[nodiscard]] std::optional<std::size_t> select(const AllocProbe& probe,
                                                   const SchedSnapshot& snap) override;
 
-  void on_start(const QueuedJob& job, double now, std::int64_t allocated) override;
+  void on_start(const QueuedJob& job, double now, std::int64_t allocated,
+                const std::vector<mesh::SubMesh>& blocks) override;
   void on_complete(std::uint64_t job_id, double now) override;
 
-  [[nodiscard]] std::string name() const override { return "backfill"; }
+  /// "backfill[:conservative][;shape]" — the registry spec grammar.
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] const BackfillOptions& options() const noexcept { return opts_; }
   void clear() override;
 
  private:
@@ -49,6 +81,7 @@ class BackfillScheduler final : public FifoBase {
     double finish_estimate{0};  ///< start + demand
     std::uint64_t job_id{0};    ///< deterministic tie-breaker
     std::int64_t allocated{0};  ///< processors actually held
+    std::vector<mesh::SubMesh> blocks;  ///< placement, for the shape probe
     friend bool operator<(const Running& a, const Running& b) {
       if (a.finish_estimate != b.finish_estimate)
         return a.finish_estimate < b.finish_estimate;
@@ -56,11 +89,21 @@ class BackfillScheduler final : public FifoBase {
     }
   };
 
-  /// Kept ordered by estimated finish so select()'s reservation walk is a
-  /// plain in-order traversal — no per-pass copy + sort; slot_ locates a
-  /// job's entry for the O(log R) on_complete erase.
+  [[nodiscard]] std::optional<std::size_t> select_easy(const AllocProbe& probe,
+                                                       const SchedSnapshot& snap);
+  [[nodiscard]] std::optional<std::size_t> select_conservative(
+      const AllocProbe& probe, const SchedSnapshot& snap);
+
+  BackfillOptions opts_;
+
+  /// Kept ordered by estimated finish so the reservation walks are plain
+  /// in-order traversals — no per-pass copy + sort; slot_ locates a job's
+  /// entry for the O(log R) on_complete erase.
   std::multiset<Running> running_;
   std::unordered_map<std::uint64_t, std::multiset<Running>::iterator> slot_;
+
+  // select() scratch (cleared per pass, capacity reused).
+  std::vector<mesh::SubMesh> released_scratch_;
 };
 
 }  // namespace procsim::sched

@@ -1,6 +1,7 @@
 #include "sched/registry.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "sched/backfill.hpp"
 #include "sched/lookahead.hpp"
@@ -25,6 +26,41 @@ namespace {
   return value;
 }
 
+/// The one copy of the backfill grammar — backfill[:easy|:conservative]
+/// [;shape] — shared by parse_sched_spec (canonicalisation) and
+/// make_scheduler (construction), so the two can never drift apart.
+struct BackfillParse {
+  BackfillOptions opts;
+  std::string canonical;
+};
+
+[[nodiscard]] std::optional<BackfillParse> parse_backfill(std::string_view spec) {
+  bool shape = false;
+  const std::size_t semi = spec.find(';');
+  if (semi != std::string_view::npos) {
+    if (!iequals(spec.substr(semi + 1), "shape")) return std::nullopt;
+    shape = true;
+    spec = spec.substr(0, semi);
+  }
+  const std::size_t colon = spec.find(':');
+  if (!iequals(spec.substr(0, colon), "backfill")) return std::nullopt;
+  bool conservative = false;
+  if (colon != std::string_view::npos) {
+    const std::string_view variant = spec.substr(colon + 1);
+    if (iequals(variant, "conservative"))
+      conservative = true;
+    else if (!iequals(variant, "easy"))  // ":easy" canonicalises away
+      return std::nullopt;
+  }
+  BackfillParse out;
+  out.opts.conservative = conservative;
+  out.opts.shape_aware = shape;
+  out.canonical = "backfill";
+  if (conservative) out.canonical += ":conservative";
+  if (shape) out.canonical += ";shape";
+  return out;
+}
+
 }  // namespace
 
 std::optional<Policy> parse_policy(std::string_view name) noexcept {
@@ -35,7 +71,9 @@ std::optional<Policy> parse_policy(std::string_view name) noexcept {
 
 std::optional<SchedSpec> parse_sched_spec(std::string_view spec) noexcept {
   if (const auto policy = parse_policy(spec)) return SchedSpec{*policy};
-  if (iequals(spec, "backfill")) return SchedSpec{std::string("backfill")};
+  if (auto bf = parse_backfill(spec)) return SchedSpec{std::move(bf->canonical)};
+  if (spec.find(';') != std::string_view::npos)
+    return std::nullopt;  // ";shape" is a backfill-only option
 
   const std::size_t colon = spec.find(':');
   const std::string_view kind = spec.substr(0, colon);
@@ -56,7 +94,7 @@ std::vector<std::string> known_schedulers() {
   out.reserve(kPolicyNames.size() + 2);
   for (const auto& [policy, canonical] : kPolicyNames) out.emplace_back(canonical);
   out.emplace_back("lookahead:<k>");
-  out.emplace_back("backfill");
+  out.emplace_back("backfill[:conservative][;shape]");
   return out;
 }
 
@@ -76,7 +114,12 @@ std::unique_ptr<Scheduler> make_scheduler(Policy policy) {
 std::unique_ptr<Scheduler> make_scheduler(const SchedSpec& spec) {
   if (const auto policy = parse_policy(spec.canonical))
     return std::make_unique<OrderedScheduler>(*policy);
-  if (spec.canonical == "backfill") return std::make_unique<BackfillScheduler>();
+  // Same grammar object the parser used; requiring canonical == spec keeps
+  // the contract that name() round-trips (aliases like "backfill:easy" are
+  // the parser's business, not the factory's).
+  if (const auto bf = parse_backfill(spec.canonical);
+      bf && bf->canonical == spec.canonical)
+    return std::make_unique<BackfillScheduler>(bf->opts);
   constexpr std::string_view kLookahead = "lookahead:";
   if (spec.canonical.size() > kLookahead.size() &&
       std::string_view(spec.canonical).substr(0, kLookahead.size()) == kLookahead) {

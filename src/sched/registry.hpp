@@ -32,7 +32,13 @@ inline constexpr std::size_t kDefaultLookahead = 4;
 ///
 ///   spec := FCFS | SSD | SJF | LJF          (blocking ordered disciplines)
 ///         | lookahead[:k]                   (k >= 1, default 4)
-///         | backfill                        (EASY, head reservation)
+///         | backfill[:easy|:conservative][;shape]
+///
+/// backfill alone (or :easy, which canonicalises away) is EASY — one
+/// reservation for the blocked head; :conservative reserves for every queued
+/// job; ;shape asks for shape-aware reservation probes against the
+/// projected occupancy (effective for the contiguous allocators, a no-op
+/// refinement for count-exact ones).
 ///
 /// Implicitly constructible from Policy so paper-era call sites
 /// (`cfg.scheduler = Policy::kFcfs`) keep compiling unchanged.

@@ -4,6 +4,9 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
+
+#include "mesh/submesh.hpp"
 
 namespace procsim::sched {
 
@@ -27,12 +30,25 @@ struct QueuedJob {
 /// test many non-head jobs per scheduling pass cheaply.
 using AllocProbe = std::function<bool(const QueuedJob&)>;
 
+/// The probe-at-instant companion of AllocProbe: true when the job could be
+/// allocated once the given currently-held blocks (running jobs projected to
+/// have finished by the probed instant) were released. Side-effect free like
+/// AllocProbe — the allocator answers from a hypothetical occupancy bitmap
+/// (Allocator::can_allocate_with_free) without committing anything. Shape-
+/// aware backfilling uses it to place reservations at instants where the
+/// head's sub-mesh actually *fits*, not merely where enough nodes are free.
+using ShapeProbe =
+    std::function<bool(const QueuedJob&, const std::vector<mesh::SubMesh>&)>;
+
 /// Machine-state snapshot for one select() step (reservation-aware
 /// disciplines need the clock and the free-processor count; the simple
-/// orderings ignore it).
+/// orderings ignore it). `shape_fit`, when the simulator provides it, lets a
+/// shape-aware discipline probe hypothetical future occupancies; it is
+/// non-owning and valid only for the duration of the select() call.
 struct SchedSnapshot {
   double now{0};
   std::int64_t free_processors{0};
+  const ShapeProbe* shape_fit{nullptr};
 };
 
 /// Queueing discipline behind the transactional scheduling pass.
@@ -78,11 +94,15 @@ class Scheduler {
   virtual QueuedJob take(std::size_t pos) = 0;
 
   /// Notification that `job` started on `allocated` processors at `now`
-  /// (allocated may exceed job.area: internal fragmentation). Default no-op.
-  virtual void on_start(const QueuedJob& job, double now, std::int64_t allocated) {
+  /// (allocated may exceed job.area: internal fragmentation); `blocks` are
+  /// the placement's rectangles, which reservation-aware disciplines retain
+  /// so a future release instant can be probed by shape. Default no-op.
+  virtual void on_start(const QueuedJob& job, double now, std::int64_t allocated,
+                        const std::vector<mesh::SubMesh>& blocks) {
     (void)job;
     (void)now;
     (void)allocated;
+    (void)blocks;
   }
   /// Notification that the job with `job_id` released its processors at
   /// `now`. Default no-op.

@@ -1,0 +1,50 @@
+#include "stats/job_metrics.hpp"
+
+namespace procsim::stats {
+
+JobMetrics::JobMetrics(JobMetricsConfig cfg) : cfg_(cfg) {}
+
+void JobMetrics::Sketch::add(double x) noexcept {
+  p50.add(x);
+  p95.add(x);
+  p99.add(x);
+  moments.add(x);
+}
+
+QuantileSummary JobMetrics::Sketch::summary() const {
+  QuantileSummary s;
+  s.count = moments.count();
+  if (s.count == 0) return s;  // all-zero summary, not NaNs: keeps the
+                               // observation maps CSV-friendly on empty runs
+  s.p50 = p50.estimate();
+  s.p95 = p95.estimate();
+  s.p99 = p99.estimate();
+  s.max = moments.max();
+  s.mean = moments.mean();
+  return s;
+}
+
+void JobMetrics::on_job(const core::JobRecord& record) {
+  wait_.add(record.wait());
+  turnaround_.add(record.turnaround());
+  slowdown_.add(record.bounded_slowdown(cfg_.slowdown_tau));
+  waits_.push_back(StarvedJob{record.id, record.arrival, record.wait()});
+}
+
+QuantileSummary JobMetrics::wait() const { return wait_.summary(); }
+QuantileSummary JobMetrics::turnaround() const { return turnaround_.summary(); }
+QuantileSummary JobMetrics::bounded_slowdown() const { return slowdown_.summary(); }
+
+StarvationReport JobMetrics::starvation() const {
+  StarvationReport report;
+  if (waits_.empty()) return report;
+  report.median_wait = wait_.p50.estimate();
+  report.threshold = cfg_.starvation_factor * report.median_wait;
+  for (const StarvedJob& j : waits_)
+    if (j.wait > report.threshold) report.jobs.push_back(j);
+  return report;
+}
+
+void JobMetrics::reset() { *this = JobMetrics(cfg_); }
+
+}  // namespace procsim::stats

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics_sink.hpp"
+#include "stats/quantile_sketch.hpp"
+#include "stats/welford.hpp"
+
+namespace procsim::stats {
+
+/// Knobs of the per-job fairness analytics.
+struct JobMetricsConfig {
+  /// A job is starved when its wait exceeds `starvation_factor` × the median
+  /// wait of the run. Kim's aging disciplines and the lookahead/backfill
+  /// unfairness question both live in this tail.
+  double starvation_factor{4.0};
+  /// Bounded-slowdown runtime floor tau (JobRecord::bounded_slowdown). The
+  /// default is one cycle: every simulated service takes at least the nominal
+  /// packet time, so tau mainly guards the degenerate zero-service record.
+  double slowdown_tau{1.0};
+};
+
+/// P50/P95/P99 + extremes of one per-job distribution.
+struct QuantileSummary {
+  double p50{0};
+  double p95{0};
+  double p99{0};
+  double max{0};
+  double mean{0};
+  std::uint64_t count{0};
+};
+
+/// One job the starvation rule flagged.
+struct StarvedJob {
+  std::uint64_t id{0};
+  double arrival{0};
+  double wait{0};
+};
+
+/// The starvation report: which jobs waited more than k× the median wait.
+struct StarvationReport {
+  double median_wait{0};  ///< sketch estimate the threshold derives from
+  double threshold{0};    ///< starvation_factor × median_wait
+  std::vector<StarvedJob> jobs;  ///< flagged jobs in completion order
+  [[nodiscard]] std::size_t count() const noexcept { return jobs.size(); }
+};
+
+/// Folds the simulator's JobRecord stream into wait / turnaround /
+/// bounded-slowdown quantiles and a starvation report.
+///
+/// Quantiles run through O(1)-memory P² sketches, so the layer never holds or
+/// sorts the full distributions; the starvation report additionally logs each
+/// job's (id, arrival, wait) — 24 bytes per completion — because "which jobs
+/// starved" is an identity question a sketch cannot answer. The log is the
+/// only per-job state, and callers that need pure O(1) memory can read the
+/// quantile summaries and ignore the report.
+class JobMetrics final : public core::MetricsSink {
+ public:
+  explicit JobMetrics(JobMetricsConfig cfg = {});
+
+  void on_job(const core::JobRecord& record) override;
+
+  [[nodiscard]] QuantileSummary wait() const;
+  [[nodiscard]] QuantileSummary turnaround() const;
+  [[nodiscard]] QuantileSummary bounded_slowdown() const;
+
+  /// Flags jobs with wait > starvation_factor × median wait. The median is
+  /// the final sketch estimate, so the report is computed on demand from the
+  /// complete run (a job early in the stream is judged by the same threshold
+  /// as a late one).
+  [[nodiscard]] StarvationReport starvation() const;
+
+  [[nodiscard]] std::uint64_t completed() const noexcept { return waits_.size(); }
+  [[nodiscard]] const JobMetricsConfig& config() const noexcept { return cfg_; }
+
+  /// Fresh run (same configuration).
+  void reset();
+
+ private:
+  struct Sketch {
+    P2Quantile p50{0.50};
+    P2Quantile p95{0.95};
+    P2Quantile p99{0.99};
+    Welford moments;
+    void add(double x) noexcept;
+    [[nodiscard]] QuantileSummary summary() const;
+  };
+
+  JobMetricsConfig cfg_;
+  Sketch wait_;
+  Sketch turnaround_;
+  Sketch slowdown_;
+  std::vector<StarvedJob> waits_;  ///< (id, arrival, wait) per completion
+};
+
+}  // namespace procsim::stats

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace procsim::stats {
+
+/// Streaming quantile estimate via the P² algorithm (Jain & Chlamtac 1985):
+/// five markers track the target quantile and its neighbours, adjusted with
+/// piecewise-parabolic interpolation as observations arrive. O(1) memory and
+/// O(1) per observation — the point of a sketch: a sweep cell can fold
+/// millions of per-job waits into a P99 without ever holding them.
+///
+/// Exact while fewer than five observations have arrived (the markers then
+/// *are* the sorted sample); the classic P² error bounds apply beyond that.
+/// Deterministic: the estimate is a pure function of the observation
+/// sequence, so fixed-seed replications reproduce it bit for bit.
+class P2Quantile {
+ public:
+  /// `p` in (0, 1), e.g. 0.5, 0.95, 0.99.
+  explicit P2Quantile(double p) noexcept : p_(p) {}
+
+  void add(double x) noexcept {
+    if (n_ < 5) {
+      // Insert into the sorted marker prefix (5 elements at most).
+      std::size_t i = n_++;
+      while (i > 0 && q_[i - 1] > x) {
+        q_[i] = q_[i - 1];
+        --i;
+      }
+      q_[i] = x;
+      if (n_ == 5) {
+        for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+        desired_[0] = 1;
+        desired_[1] = 1 + 2 * p_;
+        desired_[2] = 1 + 4 * p_;
+        desired_[3] = 3 + 2 * p_;
+        desired_[4] = 5;
+      }
+      return;
+    }
+
+    // Locate the cell, bumping the extreme markers when x falls outside.
+    int k;
+    if (x < q_[0]) {
+      q_[0] = x;
+      k = 0;
+    } else if (x >= q_[4]) {
+      q_[4] = std::max(q_[4], x);
+      k = 3;
+    } else {
+      k = 0;
+      while (k < 3 && x >= q_[k + 1]) ++k;
+    }
+    for (int i = k + 1; i < 5; ++i) ++pos_[i];
+    desired_[1] += p_ / 2;
+    desired_[2] += p_;
+    desired_[3] += (1 + p_) / 2;
+    desired_[4] += 1;
+    ++n_;
+
+    // Nudge the three interior markers toward their desired positions.
+    for (int i = 1; i <= 3; ++i) {
+      const double d = desired_[i] - pos_[i];
+      if ((d >= 1 && pos_[i + 1] - pos_[i] > 1) ||
+          (d <= -1 && pos_[i - 1] - pos_[i] < -1)) {
+        const int s = d >= 0 ? 1 : -1;
+        const double candidate = parabolic(i, s);
+        q_[i] = (q_[i - 1] < candidate && candidate < q_[i + 1]) ? candidate
+                                                                 : linear(i, s);
+        pos_[i] += s;
+      }
+    }
+  }
+
+  /// The current estimate; NaN before any observation. With fewer than five
+  /// observations this is the exact order statistic at ceil(p·n).
+  [[nodiscard]] double estimate() const noexcept {
+    if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+    if (n_ < 5) {
+      const auto rank = static_cast<std::uint64_t>(p_ * static_cast<double>(n_));
+      return q_[std::min(rank, n_ - 1)];
+    }
+    return q_[2];
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double probability() const noexcept { return p_; }
+
+ private:
+  [[nodiscard]] double parabolic(int i, int s) const noexcept {
+    const double d = static_cast<double>(s);
+    return q_[i] + d / (pos_[i + 1] - pos_[i - 1]) *
+                       ((pos_[i] - pos_[i - 1] + d) * (q_[i + 1] - q_[i]) /
+                            (pos_[i + 1] - pos_[i]) +
+                        (pos_[i + 1] - pos_[i] - d) * (q_[i] - q_[i - 1]) /
+                            (pos_[i] - pos_[i - 1]));
+  }
+  [[nodiscard]] double linear(int i, int s) const noexcept {
+    return q_[i] + static_cast<double>(s) * (q_[i + s] - q_[i]) /
+                       (pos_[i + s] - pos_[i]);
+  }
+
+  double p_;
+  std::uint64_t n_{0};
+  std::array<double, 5> q_{};    ///< marker heights
+  std::array<double, 5> pos_{};  ///< marker positions (1-based observation ranks)
+  std::array<double, 5> desired_{};
+};
+
+}  // namespace procsim::stats

@@ -13,7 +13,14 @@ void ReplicationController::add_replication(
 bool ReplicationController::done() const {
   if (reps_ < policy_.min_replications) return false;
   if (reps_ >= policy_.max_replications) return true;
+  const auto gated = [this](const std::string& name) {
+    if (policy_.precision_metrics.empty()) return true;
+    for (const std::string& g : policy_.precision_metrics)
+      if (g == name) return true;
+    return false;
+  };
   for (const auto& [name, w] : acc_) {
+    if (!gated(name)) continue;
     const Interval iv = confidence_interval(w, policy_.confidence);
     if (iv.relative_error() > policy_.max_relative_error) return false;
   }

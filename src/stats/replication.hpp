@@ -19,6 +19,13 @@ struct ReplicationPolicy {
   std::uint64_t max_replications{30};
   double confidence{0.95};
   double max_relative_error{0.05};
+  /// Metrics whose relative error drives the stopping rule; empty = every
+  /// accumulated metric (the historical behaviour). Callers that fold
+  /// high-variance analytics (tail quantiles, starvation counts) into the
+  /// same observation maps pin this to the paper's aggregate metrics so the
+  /// analytics never change how many replications a cell runs — the
+  /// fixed-seed figure CSVs stay byte-identical with or without them.
+  std::vector<std::string> precision_metrics;
 };
 
 /// Collects one scalar observation per metric per replication and decides

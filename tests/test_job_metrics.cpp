@@ -1,0 +1,244 @@
+// The per-job metrics pipeline: P² sketch accuracy against an exact sort,
+// the starvation report on a hand-built schedule, and the observation-only
+// contract — attaching a MetricsSink to SystemSim changes nothing about the
+// simulation while the record stream reproduces the aggregate statistics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "alloc/gabl.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics_sink.hpp"
+#include "core/system_sim.hpp"
+#include "des/distributions.hpp"
+#include "des/rng.hpp"
+#include "sched/ordered_scheduler.hpp"
+#include "stats/job_metrics.hpp"
+#include "stats/quantile_sketch.hpp"
+#include "workload/stochastic.hpp"
+
+namespace {
+
+using procsim::core::JobRecord;
+using procsim::stats::JobMetrics;
+using procsim::stats::JobMetricsConfig;
+using procsim::stats::P2Quantile;
+
+double exact_quantile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(xs.size()));
+  return xs[std::min(rank, xs.size() - 1)];
+}
+
+// ------------------------------------------------------------- P² sketch
+
+TEST(P2Quantile, EmptySketchIsNaN) {
+  EXPECT_TRUE(std::isnan(P2Quantile(0.5).estimate()));
+}
+
+TEST(P2Quantile, TinyStreamsAreExactOrderStatistics) {
+  // Below five observations the markers are the sorted sample itself.
+  P2Quantile median(0.5);
+  median.add(7);
+  EXPECT_EQ(median.estimate(), 7);
+  median.add(1);
+  median.add(9);
+  EXPECT_EQ(median.estimate(), 7);  // sorted {1,7,9}, rank ceil(0.5*3)=1
+  P2Quantile p99(0.99);
+  for (const double x : {5.0, 3.0, 4.0, 1.0}) p99.add(x);
+  EXPECT_EQ(p99.estimate(), 5.0);  // rank 3 of sorted {1,3,4,5}
+}
+
+TEST(P2Quantile, TracksUniformStreamWithinTolerance) {
+  procsim::des::Xoshiro256SS rng(42);
+  std::vector<double> xs;
+  P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = procsim::des::sample_uniform(rng, 0.0, 1000.0);
+    xs.push_back(x);
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  // Uniform[0,1000]: the exact quantiles are ~500/950/990; P² stays within
+  // a few percent of the exact sort on this scale of stream.
+  EXPECT_NEAR(p50.estimate(), exact_quantile(xs, 0.50), 25.0);
+  EXPECT_NEAR(p95.estimate(), exact_quantile(xs, 0.95), 25.0);
+  EXPECT_NEAR(p99.estimate(), exact_quantile(xs, 0.99), 25.0);
+}
+
+TEST(P2Quantile, TracksHeavyTailedStreamWithinRelativeTolerance) {
+  procsim::des::Xoshiro256SS rng(7);
+  std::vector<double> xs;
+  P2Quantile p95(0.95);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = procsim::des::sample_exponential(rng, 100.0);
+    xs.push_back(x);
+    p95.add(x);
+  }
+  const double exact = exact_quantile(xs, 0.95);  // ~ 300 for mean 100
+  EXPECT_NEAR(p95.estimate(), exact, 0.10 * exact);
+}
+
+TEST(P2Quantile, DeterministicForIdenticalStreams) {
+  P2Quantile a(0.95), b(0.95);
+  procsim::des::Xoshiro256SS rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = procsim::des::sample_uniform(rng, 0.0, 1.0);
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_EQ(a.estimate(), b.estimate());
+}
+
+// ----------------------------------------------------------- JobMetrics
+
+JobRecord record(std::uint64_t id, double arrival, double start, double finish) {
+  JobRecord r;
+  r.id = id;
+  r.arrival = arrival;
+  r.start = start;
+  r.finish = finish;
+  return r;
+}
+
+TEST(JobMetrics, EmptyRunYieldsZeroSummariesAndNoStarvation) {
+  const JobMetrics m;
+  EXPECT_EQ(m.wait().count, 0u);
+  EXPECT_EQ(m.wait().p99, 0.0);
+  EXPECT_EQ(m.starvation().count(), 0u);
+}
+
+TEST(JobMetrics, StarvationReportOnHandBuiltSchedule) {
+  // Nine jobs wait 1..9; two pathological ones wait 50 and 80. The median
+  // wait sits around 5-6, so with k = 4 the threshold is ~20-26: exactly the
+  // two pathological jobs are flagged, identity and all.
+  JobMetricsConfig cfg;
+  cfg.starvation_factor = 4.0;
+  JobMetrics m(cfg);
+  for (int i = 1; i <= 9; ++i)
+    m.on_job(record(static_cast<std::uint64_t>(i), 0, i, i + 10));
+  m.on_job(record(50, 2, 52, 60));
+  m.on_job(record(80, 3, 83, 90));
+
+  const auto report = m.starvation();
+  EXPECT_GE(report.median_wait, 4.0);
+  EXPECT_LE(report.median_wait, 7.0);
+  EXPECT_EQ(report.threshold, cfg.starvation_factor * report.median_wait);
+  ASSERT_EQ(report.count(), 2u);
+  EXPECT_EQ(report.jobs[0].id, 50u);
+  EXPECT_EQ(report.jobs[0].wait, 50.0);
+  EXPECT_EQ(report.jobs[0].arrival, 2.0);
+  EXPECT_EQ(report.jobs[1].id, 80u);
+  EXPECT_EQ(report.jobs[1].wait, 80.0);
+}
+
+TEST(JobMetrics, NoStarvationWhenWaitsAreHomogeneous) {
+  JobMetrics m;
+  for (int i = 0; i < 100; ++i)
+    m.on_job(record(static_cast<std::uint64_t>(i), 0, 10, 20));
+  EXPECT_EQ(m.starvation().count(), 0u);  // every wait equals the median
+  EXPECT_EQ(m.wait().p50, 10.0);
+  EXPECT_EQ(m.wait().max, 10.0);
+}
+
+TEST(JobMetrics, BoundedSlowdownUsesTheRuntimeFloor) {
+  JobRecord r = record(1, 0, 10, 10.5);  // wait 10, service 0.5
+  EXPECT_EQ(r.bounded_slowdown(1.0), 10.5);       // floor kicks in: 10.5 / 1
+  EXPECT_EQ(r.bounded_slowdown(0.25), 21.0);      // 10.5 / 0.5
+  JobRecord instant = record(2, 5, 5, 6);         // no wait, service 1
+  EXPECT_EQ(instant.bounded_slowdown(1.0), 1.0);  // never below 1
+}
+
+TEST(JobMetrics, QuantilesMatchExactSortOnSmallStreams) {
+  // 200 records with deterministic heterogeneous waits: sketch vs sort.
+  procsim::des::Xoshiro256SS rng(11);
+  JobMetrics m;
+  std::vector<double> waits;
+  for (int i = 0; i < 200; ++i) {
+    const double wait = procsim::des::sample_uniform(rng, 0.0, 100.0);
+    waits.push_back(wait);
+    m.on_job(record(static_cast<std::uint64_t>(i), 0, wait, wait + 5));
+  }
+  EXPECT_EQ(m.wait().count, 200u);
+  EXPECT_EQ(m.wait().max, *std::max_element(waits.begin(), waits.end()));
+  EXPECT_NEAR(m.wait().p50, exact_quantile(waits, 0.50), 5.0);
+  EXPECT_NEAR(m.wait().p95, exact_quantile(waits, 0.95), 5.0);
+  EXPECT_NEAR(m.wait().p99, exact_quantile(waits, 0.99), 5.0);
+}
+
+// ------------------------------------------- SystemSim record emission
+
+procsim::core::RunMetrics run_with(procsim::core::MetricsSink* sink,
+                                   JobMetrics* metrics_out = nullptr) {
+  const procsim::mesh::Geometry geom(8, 8);
+  procsim::des::Xoshiro256SS rng(21);
+  procsim::workload::StochasticParams params;
+  params.load = 0.08;
+  const auto jobs = procsim::workload::generate_stochastic(params, geom, 150, rng);
+  procsim::core::SystemConfig cfg;
+  cfg.geom = geom;
+  cfg.target_completions = 120;
+  procsim::alloc::GablAllocator alloc(geom);
+  procsim::sched::OrderedScheduler sched(procsim::sched::Policy::kFcfs);
+  procsim::core::SystemSim sim(cfg, alloc, sched);
+  sim.set_metrics_sink(sink);
+  const auto m = sim.run(jobs);
+  if (metrics_out != nullptr && sink != nullptr)
+    *metrics_out = *static_cast<JobMetrics*>(sink);
+  return m;
+}
+
+TEST(MetricsSink, AttachingASinkIsObservationOnly) {
+  const auto without = run_with(nullptr);
+  JobMetrics sink;
+  const auto with = run_with(&sink);
+  // Bitwise-identical simulation either way.
+  EXPECT_EQ(without.events, with.events);
+  EXPECT_EQ(without.completed, with.completed);
+  EXPECT_EQ(without.makespan, with.makespan);
+  EXPECT_EQ(without.turnaround.mean(), with.turnaround.mean());
+  EXPECT_EQ(without.service.mean(), with.service.mean());
+  EXPECT_EQ(without.utilization, with.utilization);
+}
+
+TEST(MetricsSink, RecordStreamReproducesTheAggregates) {
+  JobMetrics sink;
+  const auto m = run_with(&sink);
+  EXPECT_EQ(sink.completed(), m.completed);
+  // The record-derived turnaround moments equal the Welford aggregates the
+  // simulator keeps independently: same jobs, same instants.
+  EXPECT_DOUBLE_EQ(sink.turnaround().mean, m.turnaround.mean());
+  EXPECT_DOUBLE_EQ(sink.turnaround().max, m.turnaround.max());
+  // Waits are non-negative and start <= finish for every record (spot-check
+  // through the quantile summary invariants).
+  EXPECT_GE(sink.wait().p50, 0.0);
+  EXPECT_LE(sink.wait().p50, sink.wait().max);
+}
+
+TEST(MetricsSink, RunOnceExposesJobDistributions) {
+  procsim::core::ExperimentConfig cfg;
+  cfg.sys.geom = procsim::mesh::Geometry(8, 8);
+  cfg.sys.target_completions = 100;
+  cfg.workload.kind = procsim::core::WorkloadKind::kStochastic;
+  cfg.workload.job_count = 120;
+  cfg.workload.stochastic.load = 0.08;
+  cfg.seed = 5;
+  const auto m = procsim::core::run_once(cfg);
+  EXPECT_EQ(m.jobs.wait.count, m.completed);
+  EXPECT_EQ(m.jobs.turnaround.count, m.completed);
+  EXPECT_GE(m.jobs.slowdown.p50, 1.0);  // bounded slowdown is floored at 1
+  const auto obs = procsim::core::to_observations(m);
+  EXPECT_EQ(obs.at("wait_p95"), m.jobs.wait.p95);
+  EXPECT_EQ(obs.at("slowdown_p99"), m.jobs.slowdown.p99);
+  EXPECT_EQ(obs.at("starved"), m.jobs.starved);
+  // The stopping-rule gate is exactly the pre-analytics observation set.
+  for (const std::string& name : procsim::core::precision_observation_names())
+    EXPECT_TRUE(obs.count(name)) << name;
+  EXPECT_EQ(procsim::core::precision_observation_names().size(), 7u);
+}
+
+}  // namespace

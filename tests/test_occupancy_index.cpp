@@ -161,6 +161,65 @@ TEST_P(IndexEquivalence, MatchesLegacyScanUnderChurn) {
 INSTANTIATE_TEST_SUITE_P(RandomChurn, IndexEquivalence,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
+/// The shape-aware reservation probe: first_fit under "these busy blocks
+/// were released" must agree with a brute-force future-occupancy replay —
+/// copy the index, actually release the blocks, query for real.
+TEST(OccupancyIndex, AssumingFreeAgreesWithBruteForceReplayOn8x8) {
+  const Geometry g(8, 8);
+  procsim::des::Xoshiro256SS rng(4242);
+  for (int round = 0; round < 50; ++round) {
+    MeshState state(g);
+    OccupancyIndex idx(g);
+    std::vector<SubMesh> live;
+    // Random occupancy.
+    for (int step = 0; step < 30; ++step) {
+      const auto a = static_cast<std::int32_t>(procsim::des::sample_uniform_int(rng, 1, 4));
+      const auto b = static_cast<std::int32_t>(procsim::des::sample_uniform_int(rng, 1, 4));
+      if (const auto s = idx.first_fit(a, b)) {
+        idx.allocate(*s);
+        live.push_back(*s);
+      }
+    }
+    if (live.empty()) continue;
+    // Random subset of live placements plays the projected releases.
+    std::vector<SubMesh> released;
+    for (const SubMesh& s : live)
+      if (procsim::des::sample_bernoulli(rng, 0.5)) released.push_back(s);
+
+    // Brute force: replay the releases on a copy, then query for real.
+    OccupancyIndex future = idx;
+    for (const SubMesh& s : released) future.release(s);
+
+    for (int q = 0; q < 12; ++q) {
+      const auto a = static_cast<std::int32_t>(procsim::des::sample_uniform_int(rng, 1, 8));
+      const auto b = static_cast<std::int32_t>(procsim::des::sample_uniform_int(rng, 1, 8));
+      ASSERT_EQ(idx.first_fit_assuming_free(a, b, released), future.first_fit(a, b))
+          << "round " << round << " q=" << a << "x" << b;
+      ASSERT_EQ(idx.first_fit_rotatable_assuming_free(a, b, released),
+                future.first_fit_rotatable(a, b))
+          << "round " << round << " q=" << a << "x" << b;
+    }
+    // The hypothetical query must not have perturbed the real index.
+    ASSERT_EQ(idx.free_count(), state.geometry().nodes() -
+                                    [&] {
+                                      std::int32_t busy = 0;
+                                      for (const SubMesh& s : live) busy += s.area();
+                                      return busy;
+                                    }());
+  }
+}
+
+TEST(OccupancyIndex, AssumingFreeWithNoExtrasEqualsPlainFirstFit) {
+  const Geometry g(9, 7);
+  OccupancyIndex idx(g);
+  idx.allocate(SubMesh{0, 0, 4, 3});
+  EXPECT_EQ(idx.first_fit_assuming_free(3, 3, {}), idx.first_fit(3, 3));
+  // Overlapping / already-free extras are tolerated (the union counts).
+  const std::vector<SubMesh> extras{{0, 0, 4, 3}, {0, 0, 2, 2}, {5, 0, 6, 1}};
+  EXPECT_EQ(idx.first_fit_assuming_free(5, 4, extras)->base(),
+            (procsim::mesh::Coord{0, 0}));
+}
+
 /// The opt-in oracle mode: allocator-driven churn with cross-checking on
 /// must never diverge (and must restore the flag afterwards).
 TEST(OccupancyIndex, CrossCheckModeCleanOnAllocatorChurn) {

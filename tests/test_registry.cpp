@@ -108,9 +108,23 @@ TEST(SchedRegistry, SpecGrammarCanonicalisesAndRoundTrips) {
   EXPECT_FALSE(parse_sched_spec("lookahead:-1").has_value());
   EXPECT_FALSE(parse_sched_spec("lookahead:x").has_value());
   EXPECT_FALSE(parse_sched_spec("lookahead:").has_value());
+  // Backfill variants: ":easy" canonicalises away, ":conservative" and
+  // ";shape" survive, bad variants fail to parse.
+  EXPECT_EQ(parse_sched_spec("backfill:easy")->canonical, "backfill");
+  EXPECT_EQ(parse_sched_spec("Backfill:Conservative")->canonical,
+            "backfill:conservative");
+  EXPECT_EQ(parse_sched_spec("backfill;SHAPE")->canonical, "backfill;shape");
+  EXPECT_EQ(parse_sched_spec("backfill:conservative;shape")->canonical,
+            "backfill:conservative;shape");
+  EXPECT_FALSE(parse_sched_spec("backfill:bogus").has_value());
+  EXPECT_FALSE(parse_sched_spec("backfill;").has_value());
+  EXPECT_FALSE(parse_sched_spec("backfill;shape;shape").has_value());
+  EXPECT_FALSE(parse_sched_spec("FCFS;shape").has_value());
+  EXPECT_FALSE(parse_sched_spec("lookahead:4;shape").has_value());
   // Every spec round-trips through the factory: name() is the canonical spec.
   for (const char* spec : {"FCFS", "SSD", "SJF", "LJF", "lookahead:4",
-                           "lookahead:16", "backfill"}) {
+                           "lookahead:16", "backfill", "backfill:conservative",
+                           "backfill;shape", "backfill:conservative;shape"}) {
     const auto parsed = parse_sched_spec(spec);
     ASSERT_TRUE(parsed.has_value()) << spec;
     const auto s = procsim::sched::make_scheduler(*parsed);
