@@ -10,6 +10,12 @@ Gated (hard-fail) rows, chosen for signal over CI noise:
   BENCH_alloc.json  allocators[] allocator in {FirstFit, GABL}
                                  -> events_per_sec   (the first_fit- and
                                  largest_free-backed churn paths)
+  BENCH_event.json  queues[]     impl == calendar -> ops_per_sec
+                                 (the production event engine; the heap
+                                 oracle rows are report-only)
+  BENCH_event.json  end_to_end[] engine == calendar -> events_per_sec
+                                 (full-DES churn on the production path;
+                                 the legacy configuration is report-only)
 
 Report-only rows (printed, never fail — source throughput swings more on
 shared runners): BENCH_workload.json sources[] jobs_per_sec.
@@ -34,6 +40,8 @@ THRESHOLD_DEFAULT = 0.25
 
 GATED_QUERIES = ("first_fit", "largest_free")
 GATED_CHURN = ("FirstFit", "GABL")
+GATED_QUEUE_IMPL = "calendar"
+GATED_E2E_ENGINE = "calendar"
 
 
 def load(path):
@@ -102,6 +110,26 @@ def compare(baseline_dir, current_dir, threshold):
     else:
         print("BENCH_alloc.json: no baseline yet, seeding")
 
+    event_base = os.path.join(baseline_dir, "BENCH_event.json")
+    event_cur = os.path.join(current_dir, "BENCH_event.json")
+    if os.path.exists(event_base) and os.path.exists(event_cur):
+        base, cur = load(event_base), load(event_cur)
+        if base.get("mode") != cur.get("mode"):
+            print(f"  mode changed ({base.get('mode')} -> {cur.get('mode')}): "
+                  "baseline not comparable, skipped")
+        else:
+            print("BENCH_event.json:")
+            failures += compare_rows(
+                "queue", base["queues"], cur["queues"], ("pending", "impl"),
+                "ops_per_sec", threshold,
+                gate=lambda key: key[1] == GATED_QUEUE_IMPL)
+            failures += compare_rows(
+                "end_to_end", base["end_to_end"], cur["end_to_end"],
+                ("mesh", "allocator", "engine"), "events_per_sec", threshold,
+                gate=lambda key: key[2] == GATED_E2E_ENGINE)
+    else:
+        print("BENCH_event.json: no baseline yet, seeding")
+
     workload_base = os.path.join(baseline_dir, "BENCH_workload.json")
     workload_cur = os.path.join(current_dir, "BENCH_workload.json")
     if os.path.exists(workload_base) and os.path.exists(workload_cur):
@@ -136,10 +164,31 @@ def self_test():
             {"mesh": "64x64", "allocator": "Random", "events_per_sec": 9e4},
         ],
     }
+    event_baseline = {
+        "bench": "bench_event_engine",
+        "mode": "fast",
+        "queues": [
+            {"pending": 10000, "impl": "heap", "ops_per_sec": 5e6},
+            {"pending": 10000, "impl": "calendar", "ops_per_sec": 5e6},
+            {"pending": 1000000, "impl": "heap", "ops_per_sec": 1.4e6},
+            {"pending": 1000000, "impl": "calendar", "ops_per_sec": 1.4e6},
+        ],
+        "end_to_end": [
+            {"mesh": "128x128", "allocator": "FirstFit", "engine": "legacy",
+             "events_per_sec": 2.5e6, "events": 200000},
+            {"mesh": "128x128", "allocator": "FirstFit", "engine": "calendar",
+             "events_per_sec": 2.9e6, "events": 200000},
+        ],
+    }
     slowed = copy.deepcopy(baseline)
     for row in slowed["queries"]:
         row["index_ops_per_sec"] /= 2.0
     for row in slowed["allocators"]:
+        row["events_per_sec"] /= 2.0
+    event_slowed = copy.deepcopy(event_baseline)
+    for row in event_slowed["queues"]:
+        row["ops_per_sec"] /= 2.0
+    for row in event_slowed["end_to_end"]:
         row["events_per_sec"] /= 2.0
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -147,21 +196,30 @@ def self_test():
         cur_dir = os.path.join(tmp, "cur")
         os.makedirs(base_dir)
         os.makedirs(cur_dir)
-        with open(os.path.join(base_dir, "BENCH_alloc.json"), "w") as f:
-            json.dump(baseline, f)
+
+        def write(directory, alloc_doc, event_doc):
+            with open(os.path.join(directory, "BENCH_alloc.json"), "w") as f:
+                json.dump(alloc_doc, f)
+            with open(os.path.join(directory, "BENCH_event.json"), "w") as f:
+                json.dump(event_doc, f)
+
+        write(base_dir, baseline, event_baseline)
 
         print("--- self-test: injected 2x slowdown must FAIL the gate")
-        with open(os.path.join(cur_dir, "BENCH_alloc.json"), "w") as f:
-            json.dump(slowed, f)
+        write(cur_dir, slowed, event_slowed)
         failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
         if not failures:
             print("self-test FAILED: the gate passed a 2x slowdown")
             return 1
+        # Both families must contribute: a gate that only watches one file
+        # would pass a regression in the other.
+        if not any("queue" in f or "end_to_end" in f for f in failures):
+            print("self-test FAILED: BENCH_event rows did not trip the gate")
+            return 1
         print(f"  gate tripped as expected ({len(failures)} failures)")
 
         print("--- self-test: identical run must PASS the gate")
-        with open(os.path.join(cur_dir, "BENCH_alloc.json"), "w") as f:
-            json.dump(baseline, f)
+        write(cur_dir, baseline, event_baseline)
         failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
         if failures:
             print("self-test FAILED: the gate tripped on identical numbers")
@@ -171,13 +229,43 @@ def self_test():
         print("--- self-test: best_fit (ungated query) slowdown alone must PASS")
         best_only = copy.deepcopy(baseline)
         best_only["queries"][2]["index_ops_per_sec"] /= 2.0
-        with open(os.path.join(cur_dir, "BENCH_alloc.json"), "w") as f:
-            json.dump(best_only, f)
+        write(cur_dir, best_only, event_baseline)
         failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
         if failures:
             print("self-test FAILED: an ungated row tripped the gate")
             return 1
         print("  gate ignored the ungated row as expected")
+
+        print("--- self-test: heap-oracle/legacy-only slowdown must PASS")
+        oracle_only = copy.deepcopy(event_baseline)
+        for row in oracle_only["queues"]:
+            if row["impl"] == "heap":
+                row["ops_per_sec"] /= 2.0
+        for row in oracle_only["end_to_end"]:
+            if row["engine"] == "legacy":
+                row["events_per_sec"] /= 2.0
+        write(cur_dir, baseline, oracle_only)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if failures:
+            print("self-test FAILED: oracle/legacy rows tripped the gate")
+            return 1
+        print("  gate ignored the oracle/legacy rows as expected")
+
+        print("--- self-test: calendar-only 2x slowdown must FAIL")
+        calendar_only = copy.deepcopy(event_baseline)
+        for row in calendar_only["queues"]:
+            if row["impl"] == "calendar":
+                row["ops_per_sec"] /= 2.0
+        for row in calendar_only["end_to_end"]:
+            if row["engine"] == "calendar":
+                row["events_per_sec"] /= 2.0
+        write(cur_dir, baseline, calendar_only)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if len(failures) != 3:  # 2 queue rows + 1 end_to_end row
+            print("self-test FAILED: calendar rows did not all trip the gate "
+                  f"({len(failures)} failures, expected 3)")
+            return 1
+        print("  gate tripped on exactly the calendar rows as expected")
     print("self-test OK")
     return 0
 

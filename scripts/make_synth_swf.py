@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Deterministic synthetic SWF trace generator for the nightly replay.
+
+Emits a Standard Workload Format file (Feitelson archive layout: ';' header
+comments, then 18 whitespace-separated fields per record) that parse_swf()
+accepts, sized for multi-million-job replays where shipping a real archive
+in the repo would be absurd. The marginals are shaped like the paper's SDSC
+Paragon stream: exponential interarrivals, lognormal runtimes, and a
+power-of-two-heavy size distribution.
+
+Everything derives from --seed via Python's Mersenne Twister, so the same
+invocation always writes byte-identical output — the replay's
+serial-vs-threaded determinism check depends on that.
+
+Usage:
+  make_synth_swf.py --jobs 1200000 --out nightly.swf [--seed 7]
+      [--max-procs 256] [--mean-interarrival 8.0] [--runtime-median 40.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+
+
+def parse_args() -> argparse.Namespace:
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--jobs", type=int, required=True, help="number of records")
+    p.add_argument("--out", required=True, help="output .swf path")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--max-procs", type=int, default=256,
+                   help="largest job size emitted")
+    p.add_argument("--mean-interarrival", type=float, default=8.0,
+                   help="mean seconds between submits")
+    p.add_argument("--runtime-median", type=float, default=40.0,
+                   help="median recorded runtime, seconds")
+    return p.parse_args()
+
+
+def sample_size(rng: random.Random, max_procs: int) -> int:
+    """Power-of-two-heavy job sizes, like the Paragon characterisation."""
+    max_exp = int(math.log2(max_procs))
+    if rng.random() < 0.7:
+        # Small powers of two dominate real traces: weight 2^k by 1/(k+1).
+        weights = [1.0 / (k + 1) for k in range(max_exp + 1)]
+        (k,) = rng.choices(range(max_exp + 1), weights=weights)
+        return 1 << k
+    return rng.randint(1, max_procs)
+
+
+def main() -> None:
+    args = parse_args()
+    rng = random.Random(args.seed)
+    sigma = 1.1  # lognormal spread; keeps a realistic long runtime tail
+    mu = math.log(args.runtime_median)
+    runtime_cap = args.runtime_median * 50
+
+    with open(args.out, "w", encoding="ascii", newline="\n") as out:
+        out.write("; synthetic SWF trace (scripts/make_synth_swf.py)\n")
+        out.write(f"; jobs={args.jobs} seed={args.seed} "
+                  f"max_procs={args.max_procs} "
+                  f"mean_interarrival={args.mean_interarrival} "
+                  f"runtime_median={args.runtime_median}\n")
+        out.write("; MaxProcs: %d\n" % args.max_procs)
+        submit = 0.0
+        for job in range(1, args.jobs + 1):
+            submit += rng.expovariate(1.0 / args.mean_interarrival)
+            runtime = min(rng.lognormvariate(mu, sigma), runtime_cap)
+            procs = sample_size(rng, args.max_procs)
+            # 18 SWF fields; the simulator reads submit (2), run (4),
+            # used procs (5) and requested procs (8). Unknowns are -1.
+            out.write(
+                f"{job} {submit:.0f} -1 {runtime:.2f} {procs} -1 -1 "
+                f"{procs} -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+            )
+
+
+if __name__ == "__main__":
+    main()

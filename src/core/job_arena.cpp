@@ -1,0 +1,115 @@
+#include "core/job_arena.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace procsim::core {
+
+void StreamSet::build(const std::vector<network::SrcDst>& traffic) {
+  clear();
+  srcs_.reserve(traffic.size());
+  for (const auto& [src, dst] : traffic) srcs_.push_back(src);
+  std::sort(srcs_.begin(), srcs_.end());
+  srcs_.erase(std::unique(srcs_.begin(), srcs_.end()), srcs_.end());
+
+  begin_.assign(srcs_.size(), 0);
+  next_.assign(srcs_.size(), 0);
+  end_.assign(srcs_.size(), 0);
+  const auto index_of = [this](mesh::NodeId src) {
+    return static_cast<std::size_t>(
+        std::lower_bound(srcs_.begin(), srcs_.end(), src) - srcs_.begin());
+  };
+  for (const auto& [src, dst] : traffic) ++end_[index_of(src)];
+
+  std::uint32_t offset = 0;
+  for (std::size_t i = 0; i < srcs_.size(); ++i) {
+    begin_[i] = offset;
+    next_[i] = offset;  // doubles as the fill cursor below
+    offset += end_[i];
+    end_[i] = offset;
+  }
+
+  // Grouped fill in plan order: each source's destinations land contiguously
+  // and in the order the message plan issued them.
+  dsts_.resize(traffic.size());
+  for (const auto& [src, dst] : traffic) dsts_[next_[index_of(src)]++] = dst;
+  next_ = begin_;
+}
+
+std::optional<mesh::NodeId> StreamSet::advance(mesh::NodeId src) {
+  const auto it = std::lower_bound(srcs_.begin(), srcs_.end(), src);
+  if (it == srcs_.end() || *it != src)
+    throw std::logic_error("StreamSet: delivery from unknown source stream");
+  return next_at(static_cast<std::size_t>(it - srcs_.begin()));
+}
+
+void StreamSet::clear() noexcept {
+  srcs_.clear();
+  begin_.clear();
+  next_.clear();
+  end_.clear();
+  dsts_.clear();
+}
+
+JobArena::Slot JobArena::acquire(workload::Job job) {
+  const std::uint64_t id = job.id;
+  Slot s;
+  if (!free_.empty()) {
+    s = free_.back();
+  } else {
+    if (jobs_.size() > std::numeric_limits<Slot>::max())
+      throw std::length_error("JobArena: slot index overflow");
+    s = static_cast<Slot>(jobs_.size());
+    outstanding_.emplace_back();
+    start_time_.emplace_back();
+    jobs_.emplace_back();
+    placements_.emplace_back();
+    streams_.emplace_back();
+    occupied_.push_back(0);
+  }
+  if (!index_.emplace(id, s).second)
+    throw std::invalid_argument("JobArena: duplicate job id " + std::to_string(id));
+  if (!free_.empty()) free_.pop_back();  // committed only after the id check
+  outstanding_[s] = 0;
+  start_time_[s] = 0;
+  jobs_[s] = std::move(job);
+  placements_[s] = alloc::Placement{};
+  streams_[s].clear();
+  occupied_[s] = 1;
+  return s;
+}
+
+void JobArena::release(Slot s) {
+  if (!occupied(s)) throw std::logic_error("JobArena: releasing a free slot");
+  index_.erase(jobs_[s].id);
+  jobs_[s] = workload::Job{};          // drop the message plan's memory
+  placements_[s] = alloc::Placement{}; // drop the node list's memory
+  occupied_[s] = 0;
+  free_.push_back(s);
+}
+
+void JobArena::clear() {
+  index_.clear();
+  free_.clear();
+  // Keep the slot vectors (and every StreamSet's capacity); only the job
+  // payloads are dropped. The free list is rebuilt descending so the next
+  // run reuses slot 0 first — the same slot sequence a fresh arena produces.
+  for (std::size_t s = jobs_.size(); s-- > 0;) {
+    jobs_[s] = workload::Job{};
+    placements_[s] = alloc::Placement{};
+    occupied_[s] = 0;
+    free_.push_back(static_cast<Slot>(s));
+  }
+}
+
+JobArena::Slot JobArena::slot_of(std::uint64_t id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end())
+    throw std::logic_error("JobArena: no slot for job id " + std::to_string(id));
+  return it->second;
+}
+
+}  // namespace procsim::core

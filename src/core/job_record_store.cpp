@@ -1,0 +1,80 @@
+#include "core/job_record_store.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace procsim::core {
+
+void JobRecordStore::on_job(const JobRecord& r) {
+  if (chunks_.empty() || chunks_.back()->id.size() == kChunkRecords) {
+    chunks_.push_back(std::make_unique<Chunk>());
+    Chunk& c = *chunks_.back();
+    c.id.reserve(kChunkRecords);
+    c.arrival.reserve(kChunkRecords);
+    c.start.reserve(kChunkRecords);
+    c.finish.reserve(kChunkRecords);
+    c.demand.reserve(kChunkRecords);
+    c.width.reserve(kChunkRecords);
+    c.length.reserve(kChunkRecords);
+    c.processors.reserve(kChunkRecords);
+    c.allocated.reserve(kChunkRecords);
+    c.alloc_blocks.reserve(kChunkRecords);
+    c.alloc_width.reserve(kChunkRecords);
+    c.alloc_length.reserve(kChunkRecords);
+  }
+  Chunk& c = *chunks_.back();
+  c.id.push_back(r.id);
+  c.arrival.push_back(r.arrival);
+  c.start.push_back(r.start);
+  c.finish.push_back(r.finish);
+  c.demand.push_back(r.demand);
+  c.width.push_back(r.width);
+  c.length.push_back(r.length);
+  c.processors.push_back(r.processors);
+  c.allocated.push_back(r.allocated);
+  c.alloc_blocks.push_back(r.alloc_blocks);
+  c.alloc_width.push_back(r.alloc_width);
+  c.alloc_length.push_back(r.alloc_length);
+  ++size_;
+}
+
+JobRecord JobRecordStore::record(std::size_t i) const {
+  const Chunk& c = *chunks_[i / kChunkRecords];
+  const std::size_t j = i % kChunkRecords;
+  JobRecord r;
+  r.id = c.id[j];
+  r.arrival = c.arrival[j];
+  r.start = c.start[j];
+  r.finish = c.finish[j];
+  r.demand = c.demand[j];
+  r.width = c.width[j];
+  r.length = c.length[j];
+  r.processors = c.processors[j];
+  r.allocated = c.allocated[j];
+  r.alloc_blocks = c.alloc_blocks[j];
+  r.alloc_width = c.alloc_width[j];
+  r.alloc_length = c.alloc_length[j];
+  return r;
+}
+
+void JobRecordStore::clear() {
+  chunks_.clear();
+  size_ = 0;
+}
+
+void JobRecordStore::write_csv(std::ostream& out) const {
+  out << "id,arrival,start,finish,demand,width,length,processors,"
+         "allocated,alloc_blocks,alloc_width,alloc_length\n";
+  char line[256];
+  for (std::size_t i = 0; i < size_; ++i) {
+    const JobRecord r = record(i);
+    std::snprintf(line, sizeof line,
+                  "%" PRIu64 ",%.6g,%.6g,%.6g,%.6g,%d,%d,%d,%d,%d,%d,%d\n",
+                  r.id, r.arrival, r.start, r.finish, r.demand, r.width,
+                  r.length, r.processors, r.allocated, r.alloc_blocks,
+                  r.alloc_width, r.alloc_length);
+    out << line;
+  }
+}
+
+}  // namespace procsim::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "core/metrics_sink.hpp"
+
+namespace procsim::core {
+
+/// A MetricsSink that retains every per-job record in columnar, chunked
+/// storage: each column is its own array (SoA), grown chunk-by-chunk so a
+/// multi-million-job replay never pays a monolithic reallocation-and-copy
+/// and memory use tracks the record count exactly. Columns make the
+/// analytics passes (quantiles over wait, slowdown sweeps) cache-friendly;
+/// `record(i)` reassembles a JobRecord when row access is wanted.
+///
+/// Like every sink it is observation-only: attaching one changes nothing in
+/// the simulation.
+class JobRecordStore final : public MetricsSink {
+ public:
+  void on_job(const JobRecord& record) override;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Reassembles the i-th record (completion order). Precondition: i < size().
+  [[nodiscard]] JobRecord record(std::size_t i) const;
+
+  /// Frees all chunks.
+  void clear();
+
+  /// Writes `id,arrival,start,finish,...` rows (with a header) — the per-job
+  /// metrics artifact of the replay drivers. Completion order, fixed format:
+  /// two runs that simulated identical trajectories write identical bytes.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  // One bounded SoA block; kChunkRecords trades allocation count against the
+  // size of the final partially-filled block.
+  static constexpr std::size_t kChunkRecords = 1u << 16;
+  struct Chunk {
+    std::vector<std::uint64_t> id;
+    std::vector<double> arrival, start, finish, demand;
+    std::vector<std::int32_t> width, length, processors;
+    std::vector<std::int32_t> allocated, alloc_blocks, alloc_width, alloc_length;
+  };
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_{0};
+};
+
+}  // namespace procsim::core

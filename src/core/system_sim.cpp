@@ -8,7 +8,8 @@ namespace procsim::core {
 
 SystemSim::SystemSim(SystemConfig cfg, alloc::Allocator& allocator,
                      sched::Scheduler& scheduler)
-    : cfg_(cfg), allocator_(allocator), scheduler_(scheduler) {
+    : cfg_(cfg), allocator_(allocator), scheduler_(scheduler),
+      sim_(cfg.event_engine) {
   if (!(allocator.geometry() == cfg.geom))
     throw std::invalid_argument("SystemSim: allocator geometry mismatch");
 }
@@ -27,11 +28,12 @@ RunMetrics SystemSim::run(workload::Source& source) {
   sim_.reset();
   allocator_.reset();
   scheduler_.clear();
-  running_.clear();
+  arena_.clear();
   metrics_ = RunMetrics{};
   completed_ = 0;
   seq_ = 0;
   measure_start_ = 0;
+  pass_pending_ = false;
   busy_procs_ = stats::TimeWeighted{};
   queue_len_ = stats::TimeWeighted{};
   rng_ = des::Xoshiro256SS{cfg_.seed};
@@ -82,19 +84,29 @@ void SystemSim::on_arrival(workload::Job job) {
   scheduler_.enqueue(q);
   queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
 
-  const std::uint64_t id = job.id;
-  RunningJob rj;
-  rj.job = std::move(job);
-  if (!running_.emplace(id, std::move(rj)).second)  // queued; placed at start
-    throw std::invalid_argument("SystemSim: duplicate job id " + std::to_string(id));
-  try_schedule();
+  (void)arena_.acquire(std::move(job));  // queued; placed at start
+  request_schedule();
+}
+
+void SystemSim::request_schedule() {
+  if (!cfg_.coalesce_passes) {
+    try_schedule();
+    return;
+  }
+  if (pass_pending_) return;
+  pass_pending_ = true;
+  // One pass per timestamp: every same-time trigger after the first folds
+  // into the already-registered batch-end action. The flag clears before the
+  // pass runs so job starts *inside* the pass (which may complete instantly
+  // at the same timestamp) can re-request and extend the batch.
+  sim_.at_batch_end([this] {
+    pass_pending_ = false;
+    try_schedule();
+  });
 }
 
 const workload::Job& SystemSim::queued_job(std::uint64_t job_id) const {
-  const auto it = running_.find(job_id);
-  if (it == running_.end())
-    throw std::logic_error("SystemSim: queued job without a record");
-  return it->second.job;
+  return arena_.job(arena_.slot_of(job_id));
 }
 
 void SystemSim::try_schedule() {
@@ -133,38 +145,40 @@ void SystemSim::try_schedule() {
     const sched::QueuedJob taken = scheduler_.take(*pos);
     scheduler_.on_start(taken, sim_.now(), placement->allocated, placement->blocks);
     queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
-    start_job(job, std::move(*placement));
+    start_job(arena_.slot_of(taken.job_id), std::move(*placement));
   }
 }
 
-void SystemSim::start_job(const workload::Job& job, alloc::Placement placement) {
-  RunningJob& rj = running_.at(job.id);
-  rj.start_time = sim_.now();
-  rj.placement = std::move(placement);
-  busy_procs_.add(sim_.now(), static_cast<double>(rj.placement.allocated));
+void SystemSim::start_job(JobArena::Slot slot, alloc::Placement placement) {
+  const workload::Job& job = arena_.job(slot);
+  arena_.start_time(slot) = sim_.now();
+  arena_.placement(slot) = std::move(placement);
+  busy_procs_.add(sim_.now(),
+                  static_cast<double>(arena_.placement(slot).allocated));
 
   const std::vector<network::SrcDst> traffic =
-      network::map_plan(job.message_plan, rj.placement.compute_nodes);
+      network::map_plan(job.message_plan, arena_.placement(slot).compute_nodes);
 
   if (traffic.empty()) {
     // Single-processor job (or no messages): nominal local service of one
     // packet's worth of work.
     const double nominal =
         static_cast<double>(1 + cfg_.net.st + cfg_.net.packet_len);
-    const std::uint64_t id = job.id;
-    rj.outstanding = 0;
-    sim_.schedule_in(nominal, [this, id] { complete_job(id); });
+    arena_.outstanding(slot) = 0;
+    sim_.schedule_in(nominal, [this, slot] { complete_job(slot); });
     return;
   }
 
-  rj.outstanding = static_cast<std::int64_t>(traffic.size());
+  arena_.outstanding(slot) = static_cast<std::int64_t>(traffic.size());
   metrics_.packets += traffic.size();
   // Group messages by source, preserving plan order; every source streams
   // its messages one at a time (blocking sends), all sources concurrently.
-  for (const auto& [src, dst] : traffic) rj.streams[src].dsts.push_back(dst);
-  for (auto& [src, stream] : rj.streams) {
-    net_->inject(src, stream.dsts.front(), job.id);
-    stream.next = 1;
+  // The slot rides along as the packet tag, so deliveries come back O(1).
+  StreamSet& streams = arena_.streams(slot);
+  streams.build(traffic);
+  for (std::size_t i = 0; i < streams.sources(); ++i) {
+    const auto dst = streams.next_at(i);
+    net_->inject(streams.source(i), *dst, slot);
   }
 }
 
@@ -174,60 +188,56 @@ void SystemSim::on_delivery(const network::Delivery& d) {
     metrics_.packet_blocking.add(d.blocked);
     metrics_.packet_hops.add(static_cast<double>(d.hops));
   }
-  const auto it = running_.find(d.tag);
-  if (it == running_.end())
+  const auto slot = static_cast<JobArena::Slot>(d.tag);
+  if (!arena_.occupied(slot))
     throw std::logic_error("SystemSim: delivery for unknown job");
-  RunningJob& rj = it->second;
 
   // The source that just completed a send issues its next message after the
   // (optional) compute gap.
-  const auto sit = rj.streams.find(d.src);
-  if (sit == rj.streams.end())
-    throw std::logic_error("SystemSim: delivery from unknown source stream");
-  SourceStream& stream = sit->second;
-  if (stream.next < stream.dsts.size()) {
+  if (const auto next_dst = arena_.streams(slot).advance(d.src)) {
     const mesh::NodeId src = d.src;
-    const mesh::NodeId dst = stream.dsts[stream.next++];
-    const std::uint64_t job_id = d.tag;
+    const mesh::NodeId dst = *next_dst;
     if (cfg_.think_time > 0) {
       sim_.schedule_in(cfg_.think_time,
-                       [this, src, dst, job_id] { net_->inject(src, dst, job_id); });
+                       [this, src, dst, slot] { net_->inject(src, dst, slot); });
     } else {
-      net_->inject(src, dst, job_id);
+      net_->inject(src, dst, slot);
     }
   }
 
-  if (--rj.outstanding == 0) complete_job(d.tag);
+  if (--arena_.outstanding(slot) == 0) complete_job(slot);
 }
 
-void SystemSim::complete_job(std::uint64_t job_id) {
-  const auto it = running_.find(job_id);
-  if (it == running_.end()) throw std::logic_error("SystemSim: completing unknown job");
-  RunningJob& rj = it->second;
+void SystemSim::complete_job(JobArena::Slot slot) {
+  if (!arena_.occupied(slot))
+    throw std::logic_error("SystemSim: completing unknown job");
+  const workload::Job& job = arena_.job(slot);
+  const alloc::Placement& placement = arena_.placement(slot);
+  const double start_time = arena_.start_time(slot);
   const double now = sim_.now();
 
-  busy_procs_.add(now, -static_cast<double>(rj.placement.allocated));
-  allocator_.release(rj.placement);
-  scheduler_.on_complete(job_id, now);
+  busy_procs_.add(now, -static_cast<double>(placement.allocated));
+  allocator_.release(placement);
+  scheduler_.on_complete(job.id, now);
 
   if (measuring()) {
-    metrics_.turnaround.add(now - rj.job.arrival);
-    metrics_.service.add(now - rj.start_time);
+    metrics_.turnaround.add(now - job.arrival);
+    metrics_.service.add(now - start_time);
     if (sink_ != nullptr) {
       JobRecord rec;
-      rec.id = job_id;
-      rec.arrival = rj.job.arrival;
-      rec.start = rj.start_time;
+      rec.id = job.id;
+      rec.arrival = job.arrival;
+      rec.start = start_time;
       rec.finish = now;
-      rec.demand = rj.job.demand;
-      rec.width = rj.job.width;
-      rec.length = rj.job.length;
-      rec.processors = rj.job.processors;
-      rec.allocated = rj.placement.allocated;
-      rec.alloc_blocks = static_cast<std::int32_t>(rj.placement.blocks.size());
-      if (rj.placement.blocks.size() == 1) {
-        rec.alloc_width = rj.placement.blocks.front().width();
-        rec.alloc_length = rj.placement.blocks.front().length();
+      rec.demand = job.demand;
+      rec.width = job.width;
+      rec.length = job.length;
+      rec.processors = job.processors;
+      rec.allocated = placement.allocated;
+      rec.alloc_blocks = static_cast<std::int32_t>(placement.blocks.size());
+      if (placement.blocks.size() == 1) {
+        rec.alloc_width = placement.blocks.front().width();
+        rec.alloc_length = placement.blocks.front().length();
       }
       sink_->on_job(rec);
     }
@@ -239,14 +249,14 @@ void SystemSim::complete_job(std::uint64_t job_id) {
     queue_len_.reset_window(now);
     measure_start_ = now;
   }
-  running_.erase(it);
+  arena_.release(slot);
 
   if (cfg_.target_completions != 0 &&
       completed_ >= cfg_.target_completions + cfg_.warmup_completions) {
     sim_.stop();
     return;
   }
-  try_schedule();
+  request_schedule();
 }
 
 }  // namespace procsim::core

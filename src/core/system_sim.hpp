@@ -1,12 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "alloc/allocator.hpp"
+#include "core/job_arena.hpp"
 #include "core/metrics_sink.hpp"
 #include "des/rng.hpp"
 #include "des/simulator.hpp"
@@ -32,6 +31,19 @@ struct SystemConfig {
   std::size_t warmup_completions{0};     ///< completions excluded from statistics
   std::uint64_t seed{1};                 ///< run-local randomness (random traffic)
   std::uint64_t max_events{2'000'000'000};  ///< runaway guard
+  /// Run one scheduling pass per simulated timestamp instead of one per
+  /// triggering event: a burst of same-time completions or arrivals defers a
+  /// single pass to the end of the batch. Trajectory-identical whenever job
+  /// boundaries never share a timestamp, but the cycle-quantized network
+  /// makes same-time completion bursts real, and a pass that sees several
+  /// releases at once can place jobs differently (still deterministically).
+  /// Off by default so every figure reproduces its published bytes; the
+  /// throughput paths (event-engine bench, nightly replay) opt in.
+  bool coalesce_passes{false};
+  /// Event-queue engine for this run. Defaults to the process-wide choice
+  /// (PROCSIM_EVENT_ENGINE, calendar when unset); the engines are pop-order
+  /// identical, so this never changes results — only throughput.
+  des::EventEngine event_engine{des::EventQueue::default_engine()};
 };
 
 /// Per-job wait/slowdown distribution summary — the fairness view the means
@@ -93,22 +105,6 @@ class SystemSim {
   void set_metrics_sink(MetricsSink* sink) noexcept { sink_ = sink; }
 
  private:
-  /// Messages one processor sends, in order, paced one-at-a-time: the next
-  /// is injected only once the previous is delivered (blocking sends). All
-  /// of a job's sources stream concurrently.
-  struct SourceStream {
-    std::vector<mesh::NodeId> dsts;
-    std::size_t next{0};
-  };
-
-  struct RunningJob {
-    workload::Job job;  ///< owned: streamed jobs have no stable backing store
-    alloc::Placement placement;
-    double start_time{0};
-    std::int64_t outstanding{0};  ///< packets not yet delivered (all sources)
-    std::map<mesh::NodeId, SourceStream> streams;  // ordered => deterministic
-  };
-
   /// Schedules the source's next arrival instant (if any).
   void pump_arrival();
   void on_arrival(workload::Job job);
@@ -116,9 +112,12 @@ class SystemSim {
   [[nodiscard]] const workload::Job& queued_job(std::uint64_t job_id) const;
   /// One transactional scheduling pass (see Scheduler::select).
   void try_schedule();
-  void start_job(const workload::Job& job, alloc::Placement placement);
+  /// Requests a pass: immediate when `coalesce_passes` is off, otherwise
+  /// deferred (once) to the end of the current timestamp batch.
+  void request_schedule();
+  void start_job(JobArena::Slot slot, alloc::Placement placement);
   void on_delivery(const network::Delivery& d);
-  void complete_job(std::uint64_t job_id);
+  void complete_job(JobArena::Slot slot);
   [[nodiscard]] bool measuring() const noexcept {
     return completed_ >= cfg_.warmup_completions;
   }
@@ -133,13 +132,18 @@ class SystemSim {
   workload::Source* source_{nullptr};  ///< the run's job stream (non-owning)
   std::unique_ptr<network::WormholeNetwork> net_;
   des::Xoshiro256SS rng_{1};
-  std::unordered_map<std::uint64_t, RunningJob> running_;
+  /// Every resident job (queued or running): slot-reused, SoA hot fields,
+  /// slot index == network tag. Messages one processor sends are paced
+  /// one-at-a-time (blocking sends, see StreamSet); all of a job's sources
+  /// stream concurrently.
+  JobArena arena_;
   stats::TimeWeighted busy_procs_;
   stats::TimeWeighted queue_len_;
   RunMetrics metrics_;
   std::uint64_t completed_{0};
   std::uint64_t seq_{0};
   double measure_start_{0};
+  bool pass_pending_{false};  ///< a coalesced scheduling pass is queued
 };
 
 }  // namespace procsim::core

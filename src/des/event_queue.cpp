@@ -1,0 +1,261 @@
+#include "des/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace procsim::des {
+
+namespace {
+
+// Initial/minimum calendar geometry. Buckets double once the pending set
+// exceeds kGrowFactor events per bucket and halve below 1/kShrinkDivisor,
+// keeping the expected bucket occupancy O(1).
+constexpr std::size_t kMinBuckets = 16;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+constexpr std::size_t kGrowFactor = 2;
+constexpr std::size_t kShrinkDivisor = 4;
+
+[[nodiscard]] std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = kMinBuckets;
+  while (p < n && p < kMaxBuckets) p <<= 1;
+  return p;
+}
+
+[[nodiscard]] bool event_before(const Event& a, const Event& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+EventEngine EventQueue::default_engine() {
+  static const EventEngine parsed = [] {
+    const char* env = std::getenv("PROCSIM_EVENT_ENGINE");
+    if (env == nullptr || *env == '\0') return EventEngine::kCalendar;
+    if (std::strcmp(env, "calendar") == 0) return EventEngine::kCalendar;
+    if (std::strcmp(env, "heap") == 0) return EventEngine::kHeap;
+    if (std::strcmp(env, "verify") == 0) return EventEngine::kCrossCheck;
+    throw std::invalid_argument(
+        "PROCSIM_EVENT_ENGINE must be calendar, heap or verify");
+  }();
+  return parsed;
+}
+
+EventQueue::EventQueue(EventEngine engine) : engine_(engine) {
+  if (engine_ != EventEngine::kHeap) buckets_.resize(kMinBuckets);
+}
+
+double EventQueue::slot_of(SimTime time) const noexcept {
+  return std::floor(time / width_);
+}
+
+std::size_t EventQueue::bucket_of_slot(double slot) const noexcept {
+  // fmod is exact for doubles, so arbitrarily large virtual slot numbers
+  // (huge times over a small width) still map to a stable bucket; the slot
+  // value itself keeps the year, which is what preserves pop order.
+  double m = std::fmod(slot, static_cast<double>(buckets_.size()));
+  if (m < 0) m += static_cast<double>(buckets_.size());
+  return static_cast<std::size_t>(m);
+}
+
+void EventQueue::push(SimTime time, EventAction action) {
+  Event ev{time, next_seq_++, std::move(action)};
+  switch (engine_) {
+    case EventEngine::kHeap:
+      heap_push(std::move(ev));
+      break;
+    case EventEngine::kCalendar:
+      calendar_push(time, std::move(ev));
+      break;
+    case EventEngine::kCrossCheck:
+      heap_push(Event{time, ev.seq, nullptr});  // shadow key, no action copy
+      calendar_push(time, std::move(ev));
+      break;
+  }
+  ++size_;
+  if (engine_ != EventEngine::kHeap && size_ > kGrowFactor * buckets_.size() &&
+      buckets_.size() < kMaxBuckets)
+    rebucket(buckets_.size() * 2);
+}
+
+Event EventQueue::pop() {
+  Event out;
+  switch (engine_) {
+    case EventEngine::kHeap:
+      out = heap_pop();
+      break;
+    case EventEngine::kCalendar:
+      out = calendar_pop();
+      break;
+    case EventEngine::kCrossCheck: {
+      out = calendar_pop();
+      const Event shadow = heap_pop();
+      if (shadow.time != out.time || shadow.seq != out.seq)
+        throw std::logic_error(
+            "EventQueue cross-check: calendar and heap pop order diverged");
+      break;
+    }
+  }
+  --size_;
+  if (engine_ != EventEngine::kHeap && buckets_.size() > kMinBuckets &&
+      size_ < buckets_.size() / kShrinkDivisor)
+    rebucket(buckets_.size() / 2);
+  return out;
+}
+
+SimTime EventQueue::next_time() const noexcept {
+  if (engine_ == EventEngine::kHeap) return heap_.front().time;
+  const std::size_t b = find_min_bucket();
+  return buckets_[b].front().time;
+}
+
+void EventQueue::clear() {
+  buckets_.clear();
+  if (engine_ != EventEngine::kHeap) buckets_.resize(kMinBuckets);
+  heap_.clear();
+  width_ = 1.0;
+  cur_slot_ = 0;
+  cur_bucket_ = 0;
+  size_ = 0;
+  next_seq_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Calendar engine
+// ---------------------------------------------------------------------------
+
+void EventQueue::calendar_push(SimTime time, Event ev) {
+  const double slot = slot_of(time);
+  if (size_ == 0 || slot < cur_slot_) {
+    // The scan cursor never sits past a pending event: rewinding here is
+    // what keeps the pop-side invariant (`no pending event lives in a slot
+    // before cur_slot_`) true without ever searching on push.
+    cur_slot_ = slot;
+    cur_bucket_ = bucket_of_slot(slot);
+  }
+  Bucket& b = buckets_[bucket_of_slot(slot)];
+  // Insert sorted by (time, seq), scanning from the back: pushes are mostly
+  // time-ascending, and same-timestamp pushes carry an ascending seq, so the
+  // common insertion point is the end.
+  std::size_t pos = b.items.size();
+  while (pos > b.head && event_before(ev, b.items[pos - 1])) --pos;
+  b.items.insert(b.items.begin() + static_cast<std::ptrdiff_t>(pos), std::move(ev));
+}
+
+std::size_t EventQueue::find_min_bucket() const {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& b = buckets_[cur_bucket_];
+    // Only events in slot == cur_slot_ can satisfy this under the scan
+    // invariant (nothing pending lives in an earlier slot), and one slot
+    // maps to exactly one bucket — so a hit here is the global minimum.
+    if (!b.drained() && slot_of(b.front().time) <= cur_slot_)
+      return cur_bucket_;
+    cur_slot_ += 1.0;  // may stall at 2^53; the year bound below saves us
+    cur_bucket_ = cur_bucket_ + 1 == buckets_.size() ? 0 : cur_bucket_ + 1;
+  }
+  // A whole year without a due event (sparse far-future pending set, or a
+  // slot counter too large to increment): locate the minimum directly and
+  // resync the cursor. O(buckets), amortized away by re-bucketing.
+  const Bucket* best = nullptr;
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& b = buckets_[i];
+    if (b.drained()) continue;
+    if (best == nullptr || event_before(b.front(), best->front())) {
+      best = &b;
+      best_idx = i;
+    }
+  }
+  cur_slot_ = slot_of(best->front().time);
+  cur_bucket_ = best_idx;
+  return best_idx;
+}
+
+Event EventQueue::calendar_pop() {
+  Bucket& b = buckets_[find_min_bucket()];
+  Event out = std::move(b.items[b.head]);
+  ++b.head;
+  if (b.drained()) {
+    b.items.clear();  // reclaims the popped prefix, keeps capacity
+    b.head = 0;
+  }
+  return out;
+}
+
+void EventQueue::rebucket(std::size_t new_bucket_count) {
+  new_bucket_count = pow2_at_least(new_bucket_count);
+
+  // Drain the old calendar bucket by bucket. Events sharing a timestamp
+  // always share a bucket and are seq-sorted there, so the scratch vector
+  // preserves relative order within every timestamp — re-inserting from it
+  // keeps each new bucket's (time, seq) order intact.
+  std::vector<Event> scratch;
+  scratch.reserve(size_);
+  for (Bucket& b : buckets_)
+    for (std::size_t i = b.head; i < b.items.size(); ++i)
+      scratch.push_back(std::move(b.items[i]));
+  buckets_.assign(new_bucket_count, Bucket{});
+
+  // Width from the event-time spread, robust to far-future outliers: the
+  // 10th-to-90th percentile span of a deterministic strided sample, spread
+  // over the events it covers. Aim for ~1 event per occupied slot.
+  if (scratch.size() >= 2) {
+    std::vector<double> sample;
+    const std::size_t stride = std::max<std::size_t>(1, scratch.size() / 4096);
+    for (std::size_t i = 0; i < scratch.size(); i += stride)
+      sample.push_back(scratch[i].time);
+    std::sort(sample.begin(), sample.end());
+    const double lo = sample[sample.size() / 10];
+    const double hi = sample[sample.size() - 1 - sample.size() / 10];
+    const double span = hi - lo;
+    if (span > 0) {
+      const double covered =
+          0.8 * static_cast<double>(scratch.size());  // events inside [lo, hi]
+      width_ = span / std::max(1.0, covered);
+    }
+    // span == 0 (clustered timestamps): keep the current width.
+  }
+
+  double min_time = 0;
+  std::uint64_t min_seq = 0;
+  bool have_min = false;
+  for (Event& ev : scratch) {
+    if (!have_min || ev.time < min_time ||
+        (ev.time == min_time && ev.seq < min_seq)) {
+      min_time = ev.time;
+      min_seq = ev.seq;
+      have_min = true;
+    }
+    Bucket& b = buckets_[bucket_of_slot(slot_of(ev.time))];
+    std::size_t pos = b.items.size();
+    while (pos > 0 && event_before(ev, b.items[pos - 1])) --pos;
+    b.items.insert(b.items.begin() + static_cast<std::ptrdiff_t>(pos),
+                   std::move(ev));
+  }
+  cur_slot_ = have_min ? slot_of(min_time) : 0;
+  cur_bucket_ = bucket_of_slot(cur_slot_);
+}
+
+// ---------------------------------------------------------------------------
+// Heap engine (the oracle). std::push_heap/std::pop_heap on EventLater; the
+// old std::priority_queue needed a const_cast to move the top out, which was
+// UB-adjacent — pop_heap hands the element back legitimately.
+// ---------------------------------------------------------------------------
+
+void EventQueue::heap_push(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+}
+
+Event EventQueue::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+  Event out = std::move(heap_.back());
+  heap_.pop_back();
+  return out;
+}
+
+}  // namespace procsim::des

@@ -1,48 +1,113 @@
 #pragma once
 
 #include <cstddef>
-#include <queue>
-#include <utility>
+#include <cstdint>
 #include <vector>
 
 #include "des/event.hpp"
 
 namespace procsim::des {
 
-/// Pending-event set of a discrete-event simulation: a binary min-heap keyed
-/// by (time, insertion sequence). Insertion order breaks timestamp ties so
+/// Which pending-event structure an EventQueue uses.
+///
+///  * kCalendar — the production engine: a calendar queue (Brown 1988)
+///    bucketed by time, O(1) push/pop under a stationary event-time profile,
+///    with automatic re-bucketing as the pending set grows or shrinks.
+///  * kHeap — the pre-calendar binary heap, kept as the randomized-
+///    equivalence oracle (the OccupancyIndex / FreeSubmeshScan pattern).
+///  * kCrossCheck — runs the calendar queue with a shadow (time, seq) heap
+///    and verifies every pop against it; throws std::logic_error on the
+///    first divergence. Opt-in, for tests and debugging.
+///
+/// Both engines implement the identical contract — events leave in strict
+/// (time, insertion-sequence) order — so trajectories are bit-for-bit the
+/// same whichever engine runs. The default is kCalendar; the environment
+/// variable PROCSIM_EVENT_ENGINE (calendar | heap | verify) overrides it
+/// process-wide, which is how a driver binary is flipped onto the oracle
+/// without a rebuild.
+enum class EventEngine { kCalendar, kHeap, kCrossCheck };
+
+/// Pending-event set of a discrete-event simulation, keyed by
+/// (time, insertion sequence). Insertion order breaks timestamp ties so
 /// identical seeds reproduce identical trajectories.
 class EventQueue {
  public:
+  /// Engine from PROCSIM_EVENT_ENGINE (default kCalendar).
+  EventQueue() : EventQueue(default_engine()) {}
+  explicit EventQueue(EventEngine engine);
+
   /// Schedules `action` to fire at absolute time `time`.
-  void push(SimTime time, EventAction action) {
-    heap_.push(Event{time, next_seq_++, std::move(action)});
-  }
+  void push(SimTime time, EventAction action);
 
   /// Removes and returns the earliest event. Precondition: !empty().
-  [[nodiscard]] Event pop() {
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    return ev;
-  }
+  [[nodiscard]] Event pop();
 
   /// Timestamp of the earliest pending event. Precondition: !empty().
-  [[nodiscard]] SimTime next_time() const noexcept { return heap_.top().time; }
+  [[nodiscard]] SimTime next_time() const noexcept;
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
-  /// Drops every pending event (used between replications).
-  void clear() {
-    heap_ = {};
-    next_seq_ = 0;
-  }
+  /// Drops every pending event (used between replications). Bucket geometry
+  /// resets to the initial configuration so replications are independent.
+  void clear();
 
   /// Total number of events ever scheduled (diagnostic).
   [[nodiscard]] std::uint64_t scheduled_count() const noexcept { return next_seq_; }
 
+  [[nodiscard]] EventEngine engine() const noexcept { return engine_; }
+
+  /// The process-wide default: PROCSIM_EVENT_ENGINE if set (calendar | heap
+  /// | verify), else kCalendar. Parsed once.
+  [[nodiscard]] static EventEngine default_engine();
+
+  // Calendar internals exposed read-only for tests/benchmarks.
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  [[nodiscard]] double bucket_width() const noexcept { return width_; }
+
  private:
-  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  /// One calendar bucket: events sorted ascending by (time, seq), consumed
+  /// from `head` so a pop never shifts the vector. The popped prefix is
+  /// reclaimed when the bucket empties; capacities persist across reuse.
+  struct Bucket {
+    std::vector<Event> items;
+    std::size_t head{0};
+
+    [[nodiscard]] bool drained() const noexcept { return head == items.size(); }
+    [[nodiscard]] const Event& front() const noexcept { return items[head]; }
+  };
+
+  // -- calendar engine --------------------------------------------------
+  void calendar_push(SimTime time, Event ev);
+  [[nodiscard]] Event calendar_pop();
+  /// Positions cur_slot_/cur_bucket_ on the bucket holding the earliest
+  /// pending event (the calendar scan; falls back to a direct search after
+  /// one full year). Precondition: size_ > 0. Logically const: only the
+  /// scan cursor moves, never an event.
+  std::size_t find_min_bucket() const;
+  void rebucket(std::size_t new_bucket_count);
+  [[nodiscard]] double slot_of(SimTime time) const noexcept;
+  [[nodiscard]] std::size_t bucket_of_slot(double slot) const noexcept;
+
+  // -- heap engine (the oracle) -----------------------------------------
+  void heap_push(Event ev);
+  [[nodiscard]] Event heap_pop();
+
+  EventEngine engine_;
+
+  // Calendar state. cur_slot_/cur_bucket_ form the scan cursor; mutable so
+  // next_time() can advance it (the subsequent pop then hits immediately).
+  std::vector<Bucket> buckets_;
+  double width_{1.0};
+  mutable double cur_slot_{0};
+  mutable std::size_t cur_bucket_{0};
+
+  // Heap state: a std::push_heap/std::pop_heap min-heap on EventLater. In
+  // kCrossCheck the calendar holds the actions and this shadow holds bare
+  // (time, seq) keys for the pop-order identity assertion.
+  std::vector<Event> heap_;
+
+  std::size_t size_{0};
   std::uint64_t next_seq_{0};
 };
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "des/event_queue.hpp"
 
@@ -18,6 +19,13 @@ namespace procsim::des {
 /// independently testable against a bare Simulator.
 class Simulator {
  public:
+  /// Pending-event set backed by the process default engine (the
+  /// PROCSIM_EVENT_ENGINE environment variable, calendar when unset).
+  Simulator() = default;
+  /// Pins the event-queue engine for this kernel — how the benches compare
+  /// engines within one process.
+  explicit Simulator(EventEngine engine) : queue_(engine) {}
+
   /// Current simulation time.
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
@@ -31,6 +39,17 @@ class Simulator {
   void schedule_in(SimTime delay, EventAction action) {
     schedule_at(now_ + delay, std::move(action));
   }
+
+  /// Defers `action` to the end of the current timestamp batch: it runs once
+  /// every pending event at the current time has fired (before the clock
+  /// advances), in registration order. Deferred actions may schedule new
+  /// events — including at the current time, which keeps the batch open —
+  /// and may defer further actions. This is how a burst of same-timestamp
+  /// completions triggers one scheduling pass instead of N: the model
+  /// registers the pass once per timestamp instead of running it per event.
+  /// Actions still pending when `stop()` ends a run are dropped, matching
+  /// the pre-batching behaviour of work that never got to run.
+  void at_batch_end(EventAction action) { batch_end_.push_back(std::move(action)); }
 
   /// Runs until the event queue is empty, `stop()` is called, or more than
   /// `max_events` events have fired (guard against runaway models).
@@ -52,13 +71,20 @@ class Simulator {
   /// Resets clock, queue and counters for a fresh replication.
   void reset() {
     queue_.clear();
+    batch_end_.clear();
     now_ = 0;
     executed_ = 0;
     stopped_ = false;
   }
 
  private:
+  /// Runs deferred batch-end actions until none remain or the batch reopens
+  /// (an action scheduled a new event at the current time).
+  void flush_batch();
+
   EventQueue queue_;
+  std::vector<EventAction> batch_end_;
+  std::vector<EventAction> batch_scratch_;  ///< swap target during a flush
   SimTime now_{0};
   std::uint64_t executed_{0};
   bool stopped_{false};

@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "alloc/gabl.hpp"
 #include "alloc/paging.hpp"
+#include "core/job_record_store.hpp"
 #include "core/system_sim.hpp"
 #include "sched/ordered_scheduler.hpp"
 #include "workload/stochastic.hpp"
@@ -213,6 +217,109 @@ TEST(SystemSim, RunIsRepeatableOnSameInstance) {
   const RunMetrics m1 = sim.run(jobs);
   const RunMetrics m2 = sim.run(jobs);  // internal reset between runs
   EXPECT_DOUBLE_EQ(m1.turnaround.mean(), m2.turnaround.mean());
+}
+
+TEST(SystemSim, CoalescedPassesMatchLegacyOnContinuousWorkload) {
+  // Continuous-time arrivals/completions (almost) never tie, so one pass per
+  // timestamp must walk the exact same trajectory as one pass per event.
+  SystemConfig cfg;
+  cfg.geom = Geometry(8, 8);
+  cfg.target_completions = 80;
+  std::vector<Job> jobs;
+  procsim::des::Xoshiro256SS rng(11);
+  procsim::workload::StochasticParams params;
+  params.load = 0.08;
+  jobs = procsim::workload::generate_stochastic(params, cfg.geom, 80, rng);
+
+  cfg.coalesce_passes = false;
+  GablAllocator a1(cfg.geom);
+  OrderedScheduler s1(Policy::kFcfs);
+  const RunMetrics legacy = SystemSim(cfg, a1, s1).run(jobs);
+
+  cfg.coalesce_passes = true;
+  GablAllocator a2(cfg.geom);
+  OrderedScheduler s2(Policy::kFcfs);
+  const RunMetrics coalesced = SystemSim(cfg, a2, s2).run(jobs);
+
+  EXPECT_DOUBLE_EQ(legacy.turnaround.mean(), coalesced.turnaround.mean());
+  EXPECT_DOUBLE_EQ(legacy.service.mean(), coalesced.service.mean());
+  EXPECT_DOUBLE_EQ(legacy.packet_latency.mean(), coalesced.packet_latency.mean());
+  EXPECT_DOUBLE_EQ(legacy.makespan, coalesced.makespan);
+  EXPECT_EQ(legacy.packets, coalesced.packets);
+}
+
+TEST(SystemSim, CoalescedSaturationBurstStillCompletesEverything) {
+  // All arrivals at t=0: the tie-heavy regime where coalescing may place
+  // jobs differently. The invariants that must survive: every job completes
+  // and every processor comes back.
+  SystemConfig cfg;
+  cfg.geom = Geometry(8, 8);
+  cfg.target_completions = 0;
+  cfg.coalesce_passes = true;
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  procsim::des::Xoshiro256SS rng(13);
+  procsim::workload::StochasticParams params;
+  params.load = 0.1;
+  auto jobs = procsim::workload::generate_stochastic(params, cfg.geom, 60, rng);
+  for (auto& j : jobs) j.arrival = 0.0;
+  const RunMetrics m = sim.run(jobs);
+  EXPECT_EQ(m.completed, 60u);
+  EXPECT_EQ(alloc.free_processors(), 64);
+}
+
+TEST(SystemSim, RejectsDuplicateJobIds) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(4, 4);
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  // Same id twice, arrivals spread out so both reach the arena.
+  const std::vector<Job> jobs{
+      make_job(7, 0.0, 4, 4, {{0, 1}, {1, 0}}),
+      make_job(7, 1.0, 1, 1, {}),
+  };
+  EXPECT_THROW((void)sim.run(jobs), std::invalid_argument);
+}
+
+TEST(SystemSim, JobRecordStoreCollectsColumnarRecords) {
+  SystemConfig cfg;
+  cfg.geom = Geometry(8, 8);
+  cfg.target_completions = 40;
+  GablAllocator alloc(cfg.geom);
+  OrderedScheduler sched(Policy::kFcfs);
+  SystemSim sim(cfg, alloc, sched);
+  procsim::core::JobRecordStore store;
+  sim.set_metrics_sink(&store);
+  procsim::des::Xoshiro256SS rng(17);
+  procsim::workload::StochasticParams params;
+  params.load = 0.05;
+  const auto jobs = procsim::workload::generate_stochastic(params, cfg.geom, 40, rng);
+  const RunMetrics m = sim.run(jobs);
+  ASSERT_EQ(store.size(), m.completed);
+
+  // The reassembled records must tell the same story as the aggregates.
+  double turnaround_sum = 0;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const procsim::core::JobRecord r = store.record(i);
+    EXPECT_GE(r.start, r.arrival);
+    EXPECT_GT(r.finish, r.start);
+    EXPECT_GE(r.allocated, r.processors);
+    turnaround_sum += r.turnaround();
+  }
+  EXPECT_NEAR(turnaround_sum / static_cast<double>(store.size()),
+              m.turnaround.mean(), 1e-9);
+
+  // CSV emission is deterministic and one row per record.
+  std::ostringstream csv;
+  store.write_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            store.size() + 1);  // header + rows
+  store.clear();
+  EXPECT_TRUE(store.empty());
 }
 
 TEST(SystemSim, RejectsUnsortedJobs) {
