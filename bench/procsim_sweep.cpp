@@ -17,8 +17,16 @@
 //
 // With one mesh the CSV has one row per load (the fig binaries' layout).
 // With several meshes it has one row per mesh size at the first load — the
-// large-mesh scaling scenario (16x16 ... 128x128). Output is byte-identical
+// large-mesh scaling scenario (16x16 ... 512x512). Output is byte-identical
 // for any --threads value (see run_grid).
+//
+// Mesh sizes are accepted up to 4096x4096: node ids, sub-mesh areas, and
+// channel counts are computed in int32 and stay in range through 4096^2
+// (16,777,216 nodes; ~67M channels). 512x512 is the tested first-class scale
+// — it runs in the CI index-oracle smoke (with PROCSIM_INDEX_CROSS_CHECK=1)
+// and has gated rows in bench_alloc_scaling. Above 128x128 prefer --fast or
+// small --jobs/--reps: event counts grow with the node count, and the
+// saturation workload keeps the whole mesh busy.
 //
 // Allocator and scheduler names are resolved through alloc::make_allocator /
 // sched::make_scheduler, and workloads beyond the three figure families
@@ -66,7 +74,8 @@ std::optional<mesh::Geometry> parse_mesh(const std::string& s) {
 
 [[noreturn]] void usage_error(const std::string& msg) {
   std::cerr << "procsim_sweep: " << msg << "\n"
-            << "usage: procsim_sweep [--mesh=WxL[,WxL...]] [--alloc=A[,A...]]\n"
+            << "usage: procsim_sweep [--mesh=WxL[,WxL...]] (W,L in 1..4096)\n"
+            << "         [--alloc=A[,A...]]\n"
             << "         [--sched=S[,S...]]\n"
             << "           (FCFS|SSD|SJF|LJF|lookahead:k|backfill[:conservative][;shape])\n"
             << "         [--workload=uniform|exponential|real|swf:<path>|saturation|\n"

@@ -22,7 +22,13 @@ shared runners): BENCH_workload.json sources[] jobs_per_sec.
 
 Usage:
   bench_gate.py --baseline DIR --current DIR [--threshold 0.25]
+                [--summary FILE]
   bench_gate.py --self-test
+
+--summary appends a markdown perf-profile table of every bench row (current
+value, baseline, ratio, gated?) to FILE — pass $GITHUB_STEP_SUMMARY in CI.
+It is written whether or not the gate trips, so a failing run still shows
+the full profile.
 
 A missing baseline passes with a notice (first run seeds the cache). The
 --self-test mode proves the gate trips: it builds a synthetic current run 2x
@@ -143,6 +149,55 @@ def compare(baseline_dir, current_dir, threshold):
     return failures
 
 
+SUMMARY_FAMILIES = (
+    # (file, doc key, row keys, value field, gate predicate)
+    ("BENCH_alloc.json", "queries", ("mesh", "query"), "index_ops_per_sec",
+     lambda key: key[1] in GATED_QUERIES),
+    ("BENCH_alloc.json", "allocators", ("mesh", "allocator"),
+     "events_per_sec", lambda key: key[1] in GATED_CHURN),
+    ("BENCH_event.json", "queues", ("pending", "impl"), "ops_per_sec",
+     lambda key: key[1] == GATED_QUEUE_IMPL),
+    ("BENCH_event.json", "end_to_end", ("mesh", "allocator", "engine"),
+     "events_per_sec", lambda key: key[2] == GATED_E2E_ENGINE),
+    ("BENCH_workload.json", "sources", ("source",), "jobs_per_sec",
+     lambda key: False),
+)
+
+
+def write_summary(baseline_dir, current_dir, path):
+    """Appends a markdown perf-profile table of every bench row to `path`."""
+    lines = [
+        "### Bench perf profile",
+        "",
+        "| bench | row | metric | current | baseline | ratio | gated |",
+        "| --- | --- | --- | ---: | ---: | ---: | :---: |",
+    ]
+    for fname, doc_key, keys, value, gate in SUMMARY_FAMILIES:
+        cur_path = os.path.join(current_dir, fname)
+        if not os.path.exists(cur_path):
+            continue
+        cur = index_rows(load(cur_path).get(doc_key, []), keys)
+        base_path = os.path.join(baseline_dir, fname) if baseline_dir else None
+        base = {}
+        if base_path and os.path.exists(base_path):
+            base = index_rows(load(base_path).get(doc_key, []), keys)
+        for key, row in sorted(cur.items(), key=lambda kv: tuple(map(str, kv[0]))):
+            base_row = base.get(key)
+            new = row[value]
+            if base_row and base_row[value] > 0:
+                old = base_row[value]
+                base_s, ratio_s = f"{old:,.0f}", f"{new / old:.2f}x"
+            else:
+                base_s, ratio_s = "—", "—"
+            label = f"{doc_key}: " + " ".join(str(k) for k in key)
+            gated_s = "yes" if gate(key) else ""
+            lines.append(f"| {fname} | {label} | {value} | {new:,.0f} "
+                         f"| {base_s} | {ratio_s} | {gated_s} |")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
+    print(f"perf-profile summary appended to {path}")
+
+
 def self_test():
     """The acceptance demonstration: an injected 2x slowdown must fail."""
     import tempfile
@@ -157,11 +212,19 @@ def self_test():
              "legacy_ops_per_sec": 1e4, "index_ops_per_sec": 6e4, "speedup": 6},
             {"mesh": "64x64", "query": "best_fit",
              "legacy_ops_per_sec": 5e4, "index_ops_per_sec": 3e5, "speedup": 6},
+            # Large meshes carry no legacy figure (index-only timing);
+            # index_ops_per_sec is still gated.
+            {"mesh": "512x512", "query": "largest_free",
+             "legacy_ops_per_sec": 0, "index_ops_per_sec": 4e4, "speedup": 0},
+            {"mesh": "512x512", "query": "best_fit",
+             "legacy_ops_per_sec": 0, "index_ops_per_sec": 2e4, "speedup": 0},
         ],
         "allocators": [
             {"mesh": "64x64", "allocator": "FirstFit", "events_per_sec": 5e4},
             {"mesh": "64x64", "allocator": "GABL", "events_per_sec": 2e4},
             {"mesh": "64x64", "allocator": "Random", "events_per_sec": 9e4},
+            {"mesh": "512x512", "allocator": "GABL", "events_per_sec": 5e3},
+            {"mesh": "512x512", "allocator": "Random", "events_per_sec": 2e4},
         ],
     }
     event_baseline = {
@@ -251,6 +314,35 @@ def self_test():
             return 1
         print("  gate ignored the oracle/legacy rows as expected")
 
+        print("--- self-test: 512x512 largest_free + GABL-churn 2x slowdown "
+              "must trip exactly those rows")
+        large_only = copy.deepcopy(baseline)
+        for row in large_only["queries"]:
+            if row["mesh"] == "512x512" and row["query"] == "largest_free":
+                row["index_ops_per_sec"] /= 2.0
+        for row in large_only["allocators"]:
+            if row["mesh"] == "512x512" and row["allocator"] == "GABL":
+                row["events_per_sec"] /= 2.0
+        write(cur_dir, large_only, event_baseline)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if len(failures) != 2 or not all("512x512" in f for f in failures):
+            print("self-test FAILED: 512x512 slowdown did not trip exactly "
+                  f"the two new rows ({len(failures)} failures: {failures})")
+            return 1
+        print("  gate tripped on exactly the 512x512 rows as expected")
+
+        print("--- self-test: 512x512 ungated-churn (Random) slowdown must PASS")
+        large_ungated = copy.deepcopy(baseline)
+        for row in large_ungated["allocators"]:
+            if row["mesh"] == "512x512" and row["allocator"] == "Random":
+                row["events_per_sec"] /= 2.0
+        write(cur_dir, large_ungated, event_baseline)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if failures:
+            print("self-test FAILED: an ungated 512x512 row tripped the gate")
+            return 1
+        print("  gate ignored the ungated 512x512 row as expected")
+
         print("--- self-test: calendar-only 2x slowdown must FAIL")
         calendar_only = copy.deepcopy(event_baseline)
         for row in calendar_only["queues"]:
@@ -278,6 +370,9 @@ def main():
                         help="maximum tolerated fractional regression")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate trips on a synthetic 2x slowdown")
+    parser.add_argument("--summary", metavar="FILE",
+                        help="append a markdown perf-profile table to FILE "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
     args = parser.parse_args()
 
     if args.self_test:
@@ -285,10 +380,14 @@ def main():
     if not args.baseline or not args.current:
         parser.error("--baseline and --current are required (or --self-test)")
     if not os.path.isdir(args.baseline):
+        if args.summary:
+            write_summary(None, args.current, args.summary)
         print(f"no baseline directory at {args.baseline}: first run, passing")
         sys.exit(0)
 
     failures = compare(args.baseline, args.current, args.threshold)
+    if args.summary:
+        write_summary(args.baseline, args.current, args.summary)
     if failures:
         print("\nFAIL: throughput regressions beyond "
               f"{args.threshold:.0%} of baseline:")

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -12,7 +13,11 @@
 namespace procsim::mesh {
 namespace {
 
-std::atomic<bool> g_cross_check{false};
+std::atomic<bool> g_cross_check{[] {
+  const char* env = std::getenv("PROCSIM_INDEX_CROSS_CHECK");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}()};
 
 /// Mask with bits [b1, b2] of a word set (0 <= b1 <= b2 <= 63).
 [[nodiscard]] constexpr std::uint64_t bit_range(int b1, int b2) noexcept {
@@ -35,8 +40,7 @@ void and_shr(std::uint64_t* r, std::size_t words, std::int32_t t) {
   }
 }
 
-/// dst = src >> t over a multi-word little-endian bit span (dst != src ok,
-/// dst == src ok: position i only reads indices >= i).
+/// dst = src >> t over a multi-word little-endian bit span.
 void shr_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t words,
               std::int32_t t) {
   const std::size_t word_off = static_cast<std::size_t>(t) / 64;
@@ -200,6 +204,14 @@ void OccupancyIndex::compute_run_row(const std::uint64_t* bits, std::int32_t y,
   }
 }
 
+void OccupancyIndex::ensure_run_row(const std::uint64_t* bits, std::int32_t y,
+                                    std::int32_t a) const {
+  const std::size_t yi = static_cast<std::size_t>(y);
+  if (runs_row_epoch_[yi] == runs_epoch_) return;
+  compute_run_row(bits, y, a);
+  runs_row_epoch_[yi] = runs_epoch_;
+}
+
 bool OccupancyIndex::window_into_win(std::int32_t y, std::int32_t b) const {
   const std::uint64_t* r0 = runs_.data() + static_cast<std::size_t>(y) * words_;
   bool nonzero = false;
@@ -212,21 +224,127 @@ bool OccupancyIndex::window_into_win(std::int32_t y, std::int32_t b) const {
   return nonzero;
 }
 
+void OccupancyIndex::ensure_summaries() const {
+  const std::int32_t L = geom_.length();
+  const std::size_t nblk = (static_cast<std::size_t>(L) + 63) / 64;
+  if (row_max_run_.empty()) {
+    row_max_run_.assign(static_cast<std::size_t>(L), 0);
+    sum_gen_.assign(static_cast<std::size_t>(L), 0);  // 0 never matches (clear() stamps >= 1)
+    rows_all_free_.assign(nblk, 0);
+    rows_any_free_.assign(nblk, 0);
+    blk_max_run_.assign(nblk, 0);
+  }
+  bool touched = false;
+  for (std::int32_t y = 0; y < L; ++y) {
+    const std::size_t yi = static_cast<std::size_t>(y);
+    if (sum_gen_[yi] == row_gen_[yi]) continue;
+    touched = true;
+    const std::uint64_t* r = row(y);
+    std::uint64_t any = 0;
+    bool all = true;
+    std::int32_t best = 0;
+    std::int32_t run = 0;
+    for (std::size_t i = 0; i < words_; ++i) {
+      const std::uint64_t v = r[i];
+      any |= v;
+      all = all && v == (i + 1 == words_ ? tail_mask_ : ~std::uint64_t{0});
+      // Longest free run, carried across word boundaries; the tail bits past
+      // the width are zero, so runs clip at the mesh edge automatically.
+      int pos = 0;
+      while (pos < 64) {
+        const std::uint64_t rest = v >> pos;
+        if (rest & 1) {
+          const int ones = std::countr_one(rest);
+          run += ones;
+          pos += ones;
+          if (pos < 64) {
+            best = std::max(best, run);
+            run = 0;
+          }
+        } else {
+          best = std::max(best, run);
+          run = 0;
+          pos += rest == 0 ? 64 - pos : std::countr_zero(rest);
+        }
+      }
+    }
+    row_max_run_[yi] = std::max(best, run);
+    const std::uint64_t bit = std::uint64_t{1} << (y % 64);
+    if (all)
+      rows_all_free_[yi / 64] |= bit;
+    else
+      rows_all_free_[yi / 64] &= ~bit;
+    if (any != 0)
+      rows_any_free_[yi / 64] |= bit;
+    else
+      rows_any_free_[yi / 64] &= ~bit;
+    sum_gen_[yi] = row_gen_[yi];
+  }
+  if (touched) {
+    // Level 2: per-64-row-block max runs. O(L) — cheaper than tracking which
+    // blocks went stale, and already dominated by the stamp scan above.
+    for (std::size_t blk = 0; blk < nblk; ++blk) {
+      std::int32_t m = 0;
+      const std::size_t y_end = std::min(static_cast<std::size_t>(L), blk * 64 + 64);
+      for (std::size_t y = blk * 64; y < y_end; ++y) m = std::max(m, row_max_run_[y]);
+      blk_max_run_[blk] = m;
+    }
+  }
+}
+
 std::optional<SubMesh> OccupancyIndex::first_fit_impl(const std::uint64_t* bits,
                                                       std::int32_t a,
                                                       std::int32_t b) const {
   if (a <= 0 || b <= 0) throw std::invalid_argument("first_fit: non-positive request");
   if (a > geom_.width() || b > geom_.length()) return std::nullopt;
+  const std::int32_t L = geom_.length();
   runs_.resize(free_.size());
+  runs_row_epoch_.resize(static_cast<std::size_t>(L), 0);
   win_.resize(words_);
-  // Run masks are computed lazily as the scan descends: a hit in the first
-  // rows (the common near-empty case, GABL's contiguous fast path) never
-  // touches the rest of the mesh.
-  std::int32_t ready = 0;
-  for (std::int32_t y = 0; y + b <= geom_.length(); ++y) {
-    while (ready < y + b) compute_run_row(bits, ready++, a);
-    if (window_into_win(y, b))
-      return SubMesh::from_base(Coord{lowest_bit(win_.data(), words_), y}, a, b);
+  ++runs_epoch_;
+
+  if (bits != free_.data()) {
+    // Hypothetical occupancy (first_fit_assuming_free): the summaries
+    // describe the real bitmap, so fall back to the plain lazy descent. Run
+    // masks are computed as the scan reaches their rows — a hit in the first
+    // rows never touches the rest of the mesh.
+    std::int32_t ready = 0;
+    for (std::int32_t y = 0; y + b <= L; ++y) {
+      while (ready < y + b) compute_run_row(bits, ready++, a);
+      if (window_into_win(y, b))
+        return SubMesh::from_base(Coord{lowest_bit(win_.data(), words_), y}, a, b);
+    }
+    return std::nullopt;
+  }
+
+  // Real occupancy: walk rows through the summaries. `viable` counts the
+  // consecutive rows (ending at y) holding a width-a run — only windows of b
+  // such rows can host a hit, everything else is skipped without touching a
+  // run mask; fully-busy 64-row blocks are skipped in one compare, and a
+  // window of b all-free rows is answered at column 0 directly.
+  ensure_summaries();
+  std::int32_t viable = 0;
+  std::int32_t allfree = 0;
+  for (std::int32_t y = 0; y < L; ++y) {
+    if (viable == 0 && (y & 63) == 0) {
+      while (y + 64 <= L && blk_max_run_[static_cast<std::size_t>(y) >> 6] < a) y += 64;
+      if (y >= L) break;
+    }
+    if (row_max_run_[static_cast<std::size_t>(y)] < a) {
+      viable = 0;
+      allfree = 0;
+      continue;
+    }
+    ++viable;
+    const bool af = (rows_all_free_[static_cast<std::size_t>(y) / 64] >>
+                     (y % 64)) & 1u;
+    allfree = af ? allfree + 1 : 0;
+    if (viable < b) continue;
+    const std::int32_t ys = y - b + 1;
+    if (allfree >= b) return SubMesh::from_base(Coord{0, ys}, a, b);
+    for (std::int32_t r = ys; r <= y; ++r) ensure_run_row(bits, r, a);
+    if (window_into_win(ys, b))
+      return SubMesh::from_base(Coord{lowest_bit(win_.data(), words_), ys}, a, b);
   }
   return std::nullopt;
 }
@@ -238,8 +356,10 @@ std::optional<SubMesh> OccupancyIndex::best_fit_impl(std::int32_t a,
   const std::int32_t W = geom_.width();
   const std::int32_t L = geom_.length();
   runs_.resize(free_.size());
-  for (std::int32_t y = 0; y < L; ++y) compute_run_row(free_.data(), y, a);
+  runs_row_epoch_.resize(static_cast<std::size_t>(L), 0);
   win_.resize(words_);
+  ++runs_epoch_;
+  ensure_summaries();
 
   // Scoring: a candidate's free border is the free-node count of its clipped
   // ring, i.e. free(ring ∪ s) - area(s). bf_win_[x] holds the prefix sum of
@@ -248,8 +368,7 @@ std::optional<SubMesh> OccupancyIndex::best_fit_impl(std::int32_t a,
   // O(1) window difference. The window is the sum of per-row prefix blocks
   // from the generation-stamped cache — rows untouched since the last query
   // (the common churn case) cost two vectorizable adds to enter/leave the
-  // window, never a bitmap rescan, and the serial colf_→colp_ prefix rebuild
-  // the old code ran per window row is gone entirely.
+  // window, never a bitmap rescan.
   const std::size_t stride = static_cast<std::size_t>(W) + 1;
   bf_win_.assign(stride, 0);
   std::int32_t cached_y = std::numeric_limits<std::int32_t>::min();
@@ -276,11 +395,29 @@ std::optional<SubMesh> OccupancyIndex::best_fit_impl(std::int32_t a,
     }
   };
 
+  // Candidate windows are pre-filtered through the summaries exactly like
+  // first_fit: a window containing a row without a width-a run has an empty
+  // mask, so skipping it drops no candidate and saves both the AND and the
+  // scoring. best_fit must still visit every viable window — the best score
+  // can sit anywhere — so there is no all-free shortcut here.
   std::optional<SubMesh> best;
   std::int32_t best_score = std::numeric_limits<std::int32_t>::max();
-  for (std::int32_t y = 0; y + b <= L; ++y) {
-    if (!window_into_win(y, b)) continue;
-    set_window(y);
+  std::int32_t viable = 0;
+  for (std::int32_t y = 0; y < L; ++y) {
+    if (viable == 0 && (y & 63) == 0) {
+      while (y + 64 <= L && blk_max_run_[static_cast<std::size_t>(y) >> 6] < a) y += 64;
+      if (y >= L) break;
+    }
+    if (row_max_run_[static_cast<std::size_t>(y)] < a) {
+      viable = 0;
+      continue;
+    }
+    ++viable;
+    if (viable < b) continue;
+    const std::int32_t ys = y - b + 1;
+    for (std::int32_t r = ys; r <= y; ++r) ensure_run_row(free_.data(), r, a);
+    if (!window_into_win(ys, b)) continue;
+    set_window(ys);
     for (std::size_t i = 0; i < words_; ++i) {
       std::uint64_t v = win_[i];
       while (v != 0) {
@@ -293,7 +430,7 @@ std::optional<SubMesh> OccupancyIndex::best_fit_impl(std::int32_t a,
                                    bf_win_[static_cast<std::size_t>(c1)] - a * b;
         if (score < best_score) {
           best_score = score;
-          best = SubMesh::from_base(Coord{x, y}, a, b);
+          best = SubMesh::from_base(Coord{x, ys}, a, b);
         }
       }
     }
@@ -322,6 +459,71 @@ const std::int32_t* OccupancyIndex::ensure_rowpref(std::int32_t y) const {
     bf_rowpref_gen_[yi] = row_gen_[yi];
   }
   return p;
+}
+
+void OccupancyIndex::ensure_frontier() const {
+  if (lf_frontier_gen_ == gen_counter_ && !lf_frontier_.empty()) return;
+  const std::int32_t W = geom_.width();
+  const std::int32_t L = geom_.length();
+  lf_frontier_.assign(static_cast<std::size_t>(W) + 2, 0);
+  lf_ht_.assign(static_cast<std::size_t>(W), 0);
+  lf_stack_x_.resize(static_cast<std::size_t>(W) + 1);
+  lf_stack_h_.resize(static_cast<std::size_t>(W) + 1);
+  std::int32_t* H = lf_frontier_.data();
+  std::int32_t* ht = lf_ht_.data();
+  std::int32_t* sx = lf_stack_x_.data();
+  std::int32_t* sh = lf_stack_h_.data();
+
+  // One maximal-rectangle sweep: per-column heights of consecutive free rows
+  // ending at the current row, and per row a monotonic stack enumerating
+  // every maximal free rectangle whose bottom edge is this row. Each
+  // rectangle (height h, span s) raises the frontier at its span; the
+  // suffix max afterwards turns that into H[w] = tallest free w-wide
+  // rectangle for every w. Heights reach the stack already clipped by the
+  // tail mask (bits past the width read busy), so spans clip at the edge.
+  bool ht_zero = true;
+  for (std::int32_t y = 0; y < L; ++y) {
+    const std::uint64_t* r = row(y);
+    std::uint64_t any = 0;
+    for (std::size_t i = 0; i < words_; ++i) any |= r[i];
+    if (any == 0) {
+      // Fully busy row: every height resets; rectangles ending above were
+      // already flushed at their own bottom rows.
+      if (!ht_zero) {
+        std::fill(ht, ht + W, 0);
+        ht_zero = true;
+      }
+      continue;
+    }
+    ht_zero = false;
+    std::int32_t sp = 0;
+    std::int32_t x = 0;
+    for (std::size_t i = 0; i < words_; ++i) {
+      std::uint64_t bits = r[i];
+      const std::int32_t lim = std::min<std::int32_t>(64, W - x);
+      for (std::int32_t j = 0; j < lim; ++j, ++x, bits >>= 1) {
+        const std::int32_t h = (bits & 1u) ? ht[x] + 1 : 0;
+        ht[x] = h;
+        std::int32_t start = x;
+        while (sp > 0 && sh[sp - 1] >= h) {
+          --sp;
+          if (sh[sp] > H[x - sx[sp]]) H[x - sx[sp]] = sh[sp];
+          start = sx[sp];
+        }
+        if (h > 0 && (sp == 0 || sh[sp - 1] < h)) {
+          sx[sp] = start;
+          sh[sp] = h;
+          ++sp;
+        }
+      }
+    }
+    while (sp > 0) {
+      --sp;
+      if (sh[sp] > H[W - sx[sp]]) H[W - sx[sp]] = sh[sp];
+    }
+  }
+  for (std::int32_t w = W - 1; w >= 1; --w) H[w] = std::max(H[w], H[w + 1]);
+  lf_frontier_gen_ = gen_counter_;
 }
 
 const std::uint64_t* OccupancyIndex::ensure_lf_level(std::int32_t w) const {
@@ -361,21 +563,15 @@ const std::uint64_t* OccupancyIndex::ensure_lf_level(std::int32_t w) const {
   return block.data();
 }
 
-std::optional<SubMesh> OccupancyIndex::largest_free_impl(std::int32_t max_w,
-                                                         std::int32_t max_l,
-                                                         std::int64_t max_area) const {
-  max_w = std::min(max_w, geom_.width());
-  max_l = std::min(max_l, geom_.length());
-  if (max_w <= 0 || max_l <= 0 || max_area <= 0) return std::nullopt;
+std::optional<SubMesh> OccupancyIndex::largest_free_descent(
+    std::int32_t max_w, std::int32_t max_l, std::int64_t max_area) const {
   const std::int32_t L = geom_.length();
-  const std::size_t row_words = free_.size();
+  lf_c_.resize(free_.size());
 
   // The search ascends widths; each level's R_w masks (width-w run starts
   // per row) come from the generation-stamped cache, so a carving loop's
   // repeated queries recompute only the rows its own allocations dirtied.
-  // lf_c_ holds the height-l window AND within each w, as before.
-  lf_c_.resize(row_words);
-
+  // lf_c_ holds the height-l window AND within each w.
   std::optional<SubMesh> best;
   std::int64_t best_area = 0;
   for (std::int32_t w = 1; w <= max_w; ++w) {
@@ -424,6 +620,63 @@ std::optional<SubMesh> OccupancyIndex::largest_free_impl(std::int32_t max_w,
     }
   }
   return best;
+}
+
+std::optional<SubMesh> OccupancyIndex::largest_free_impl(std::int32_t max_w,
+                                                         std::int32_t max_l,
+                                                         std::int64_t max_area) const {
+  max_w = std::min(max_w, geom_.width());
+  max_l = std::min(max_l, geom_.length());
+  if (max_w <= 0 || max_l <= 0 || max_area <= 0) return std::nullopt;
+
+  // Dispatch (see the header): a fresh frontier answers in O(max_w); a
+  // stale one is recomputed unless the query is narrow and the occupancy
+  // changed since the previous query — the carving shape — in which case
+  // the stamped-level descent only touches dirtied rows. "Narrow" is capped
+  // both relatively (max_w ≤ W/4) and absolutely (max_w ≤ 48): the descent
+  // builds one run-mask level per candidate width, so past a few dozen
+  // widths the single maximal-rectangle pass is cheaper even when it scans
+  // the whole bitmap (measured crossover on the 512×512 sweep profile).
+  if (lf_frontier_gen_ != gen_counter_) {
+    const bool burst = lf_last_query_gen_ == gen_counter_;
+    lf_last_query_gen_ = gen_counter_;
+    if (!burst && max_w * 4 <= geom_.width() && max_w <= 48)
+      return largest_free_descent(max_w, max_l, max_area);
+    ensure_frontier();
+  }
+  return largest_free_from_frontier(max_w, max_l, max_area);
+}
+
+std::optional<SubMesh> OccupancyIndex::largest_free_from_frontier(
+    std::int32_t max_w, std::int32_t max_l, std::int64_t max_area) const {
+  // Winner selection over the feasibility frontier, reproducing the oracle's
+  // (width asc, length asc) scan: for width w the best feasible capped
+  // length is l_w = min(H[w], max_l, max_area/w); the oracle's answer is the
+  // maximum of w·l_w with the *first* (smallest) w attaining it, because in
+  // its scan a later pair only replaces the best on a strictly larger area.
+  std::int64_t best_area = 0;
+  std::int32_t best_w = 0;
+  std::int32_t best_l = 0;
+  const std::int32_t* H = lf_frontier_.data();
+  for (std::int32_t w = 1; w <= max_w; ++w) {
+    std::int32_t l = H[w];
+    if (l == 0) break;  // the frontier is non-increasing: no wider rect exists
+    l = std::min(l, max_l);
+    if (static_cast<std::int64_t>(w) * l > max_area)
+      l = static_cast<std::int32_t>(max_area / w);
+    if (l < 1) continue;
+    const std::int64_t area = static_cast<std::int64_t>(w) * l;
+    if (area > best_area) {
+      best_area = area;
+      best_w = w;
+      best_l = l;
+    }
+  }
+  if (best_area == 0) return std::nullopt;
+  // The base is the first (y, x) hosting the winning width×length — exactly
+  // the oracle's inner row-major scan, i.e. a first_fit of that shape (which
+  // must succeed: the frontier only reports feasible shapes).
+  return first_fit_impl(free_.data(), best_w, best_l);
 }
 
 std::optional<SubMesh> OccupancyIndex::first_fit(std::int32_t a, std::int32_t b) const {

@@ -23,6 +23,23 @@ class MeshState;
 /// consecutive free bits start" is a handful of shift-ANDs per row, and a
 /// height-`b` window is the AND of `b` row masks.
 ///
+/// On top of the bitmap sit two generation-stamped summary levels (the
+/// 512×512 fast path):
+///
+///  * level 1 — one record per row: longest free run, row-is-all-free and
+///    row-has-any-free flags (the flags packed into 64-row bitset words);
+///  * level 2 — one record per 64-row block: the max over the block's
+///    per-row longest runs.
+///
+/// first_fit and best_fit walk rows through these summaries: a whole block
+/// whose max run is shorter than the request width is skipped in one
+/// comparison (fully-busy regions), a window of all-free rows answers
+/// first_fit without touching run masks (fully-free regions), and only rows
+/// inside a *viable* window — b consecutive rows that each hold a run of
+/// `a` — ever compute run masks. Summaries are validated lazily per query,
+/// recomputing only rows whose generation stamp went stale, so steady churn
+/// pays O(rows touched) not O(L).
+///
 /// Every query reproduces FreeSubmeshScan's answer bit for bit — same scan
 /// order, same tie-breaking — which the randomized equivalence test and the
 /// opt-in cross-check oracle (set_cross_check) both enforce; the paper-scale
@@ -91,24 +108,43 @@ class OccupancyIndex {
   /// generation-stamped cache maintained in lock-step with allocate/release
   /// (the stamps are bumped there; a stale row recomputes on first use), so
   /// repeat queries under churn reuse every untouched row instead of
-  /// rebuilding column counts from the bitmap per query — the ROADMAP's
-  /// "maintain column counts incrementally" item. Answers are bit-identical
-  /// to the rebuild-per-query path (a cached row is a pure function of the
-  /// row's free bits; oracle equivalence and cross-check cover it).
+  /// rebuilding column counts from the bitmap per query. Candidate windows
+  /// are pre-filtered through the row/block summaries: a window containing
+  /// a row with no width-a run has an empty mask and is never ANDed or
+  /// scored. Answers are bit-identical to the exhaustive path (skipped
+  /// windows contribute no candidates; oracle equivalence and cross-check
+  /// cover it).
   [[nodiscard]] std::optional<SubMesh> best_fit(std::int32_t a, std::int32_t b) const;
 
   /// Largest-area free sub-mesh with width <= max_w, length <= max_l and
   /// optionally area <= max_area; ties resolve to the first candidate in
   /// deterministic (width, length, base) scan order (GABL's inner search).
   ///
-  /// The per-row width-w run masks the search ascends through are cached
-  /// with per-row generation stamps: a repeat query — GABL's carving loop
-  /// issues one largest_free per carved piece, each dirtying only the
-  /// piece's rows — recomputes masks only for rows whose occupancy changed
-  /// since they were last stamped, instead of rebuilding every level from
-  /// the whole bitmap. Answers are bit-identical either way (a cached row
-  /// is a pure function of the row's free bits; the cross-check oracle and
-  /// the randomized equivalence test both cover the cached path).
+  /// Primary algorithm: a maximal-rectangle computation. One pass over the
+  /// bitmap maintains per-column free-run heights and runs a monotonic
+  /// stack per row, recording every maximal free rectangle into the
+  /// *feasibility frontier* H — H[w] is the tallest l such that a free w×l
+  /// sub-mesh exists, non-increasing in w. The frontier is cached under the
+  /// index generation counter, so any number of queries between occupancy
+  /// changes share one O(W·L) pass and each cost O(max_w) to pick the
+  /// winner plus one first_fit for its base.
+  ///
+  /// Cap-bounded staleness path: when the frontier is stale, the caps are
+  /// narrow (max_w ≤ W/4) and the previous query saw a different occupancy
+  /// (no burst), a full-mesh pass would mostly measure rectangles the caps
+  /// exclude — GABL's carving loop is exactly this shape, one narrowing
+  /// query per carved piece. Those queries run a per-width descent over
+  /// generation-stamped run-mask levels instead, recomputing only rows the
+  /// carving itself dirtied. A second query on the *same* occupancy (a
+  /// burst) or wide caps promote to the frontier pass, so repeated queries
+  /// always end up amortized O(max_w). Both paths reproduce the oracle
+  /// answer bit for bit; which one runs is never observable.
+  ///
+  /// Tie-breaking semantics (bit-identical to FreeSubmeshScan::largest_free,
+  /// see README "Allocators & the occupancy index"): maximum capped area
+  /// first; among equal areas the smallest width; the base is the first
+  /// (y, x) in row-major order hosting that width×length — exactly the
+  /// oracle's (width asc, length asc, y asc, x asc) scan order.
   [[nodiscard]] std::optional<SubMesh> largest_free(
       std::int32_t max_w, std::int32_t max_l,
       std::int64_t max_area = std::numeric_limits<std::int64_t>::max()) const;
@@ -119,7 +155,10 @@ class OccupancyIndex {
   /// Debug-mode oracle: when enabled, every fit query also runs the legacy
   /// FreeSubmeshScan on a reconstructed snapshot and throws std::logic_error
   /// on any divergence. Process-wide and off by default — it restores the
-  /// O(W·L)-per-query cost the index exists to remove.
+  /// O(W·L)-per-query cost the index exists to remove. The initial value
+  /// honours the PROCSIM_INDEX_CROSS_CHECK environment variable (any value
+  /// other than empty or "0" enables it), so CI smokes can run whole sweeps
+  /// under the oracle without a code change.
   static void set_cross_check(bool enabled) noexcept;
   [[nodiscard]] static bool cross_check_enabled() noexcept;
 
@@ -139,6 +178,8 @@ class OccupancyIndex {
   /// real bitmap, assume_.data() for hypothetical queries; caller sizes
   /// runs_ to free_.size() first).
   void compute_run_row(const std::uint64_t* bits, std::int32_t y, std::int32_t a) const;
+  /// compute_run_row at most once per row per query (runs_epoch_ marks).
+  void ensure_run_row(const std::uint64_t* bits, std::int32_t y, std::int32_t a) const;
   /// win_ = AND of runs_ rows [y, y+b); false (with early exit) if empty.
   [[nodiscard]] bool window_into_win(std::int32_t y, std::int32_t b) const;
 
@@ -151,13 +192,32 @@ class OccupancyIndex {
                                                          std::int32_t max_l,
                                                          std::int64_t max_area) const;
 
-  /// Validates the cached width-`w` run-mask block (recomputing only rows
-  /// whose generation stamp is stale) and returns it. Levels must be
-  /// ensured in ascending w within one query — level w derives from level
-  /// w-1 — which largest_free_impl's ascent guarantees.
+  /// Validates the two summary levels (row flags + longest runs, per-block
+  /// max runs), recomputing only rows whose generation stamp is stale.
+  void ensure_summaries() const;
+
+  /// Validates the largest_free feasibility frontier: one maximal-rectangle
+  /// pass (per-column heights + monotonic stack) whenever any occupancy
+  /// changed since the last pass.
+  void ensure_frontier() const;
+
+  /// Winner selection over a *fresh* frontier (caller ensures validity).
+  [[nodiscard]] std::optional<SubMesh> largest_free_from_frontier(
+      std::int32_t max_w, std::int32_t max_l, std::int64_t max_area) const;
+
+  /// Cap-bounded per-width descent for stale-frontier narrow queries; exact
+  /// and oracle-identical for any caps, but only profitable when max_w is
+  /// small against the mesh width.
+  [[nodiscard]] std::optional<SubMesh> largest_free_descent(
+      std::int32_t max_w, std::int32_t max_l, std::int64_t max_area) const;
+
+  /// Validates (against per-row stamps) and returns the width-`w` run-mask
+  /// level block for the descent: bit x of row y ⇒ a horizontal run of `w`
+  /// free nodes starts at (x, y). Levels build incrementally (level w reads
+  /// level w-1), so callers ascend w from 1.
   [[nodiscard]] const std::uint64_t* ensure_lf_level(std::int32_t w) const;
 
-  /// Marks row `y`'s cached run masks stale (occupancy changed).
+  /// Marks row `y`'s cached summaries stale (occupancy changed).
   void dirty_row(std::int32_t y) { row_gen_[static_cast<std::size_t>(y)] = ++gen_counter_; }
 
   /// Validates (recomputing iff the row's stamp is stale) and returns row
@@ -170,20 +230,43 @@ class OccupancyIndex {
   std::vector<std::uint64_t> free_;  ///< length() * words_, bit = 1 ⇒ free
   std::int32_t free_count_;
 
-  // Run-mask cache generations: row_gen_[y] advances on every occupancy
-  // change touching row y; a cached row is valid iff its stamp matches.
+  // Cache generations: row_gen_[y] advances on every occupancy change
+  // touching row y; a cached row is valid iff its stamp matches, and a
+  // whole-mesh cache (the largest_free frontier) is valid iff it was built
+  // at the current gen_counter_.
   std::vector<std::uint64_t> row_gen_;  ///< per-row occupancy generation
   std::uint64_t gen_counter_{0};
 
   // Query scratch, reused across calls (see class comment on thread-safety).
   mutable std::vector<std::uint64_t> runs_;  ///< per-row run-start masks
+  mutable std::vector<std::uint64_t> runs_row_epoch_;  ///< runs_ row valid marks
+  mutable std::uint64_t runs_epoch_{0};      ///< bumped per query
   mutable std::vector<std::uint64_t> win_;   ///< height-b window AND
   mutable std::vector<std::uint64_t> assume_;  ///< hypothetical-occupancy bitmap
-  mutable std::vector<std::uint64_t> lf_c_;  ///< largest_free: window AND
+
+  // Hierarchical occupancy summaries (level 1: rows, level 2: 64-row blocks).
+  mutable std::vector<std::uint64_t> sum_gen_;      ///< per-row summary stamps
+  mutable std::vector<std::int32_t> row_max_run_;   ///< longest free run per row
+  mutable std::vector<std::uint64_t> rows_all_free_;  ///< bit y ⇒ row y all free
+  mutable std::vector<std::uint64_t> rows_any_free_;  ///< bit y ⇒ row y has a free node
+  mutable std::vector<std::int32_t> blk_max_run_;   ///< max row_max_run_ per block
+
+  // largest_free feasibility frontier + maximal-rectangle pass scratch.
+  mutable std::vector<std::int32_t> lf_frontier_;  ///< H[w]: tallest free w-wide rect
+  mutable std::uint64_t lf_frontier_gen_{0};       ///< gen_counter_ at last pass
+  mutable std::uint64_t lf_last_query_gen_{0};     ///< burst detection
+  mutable std::vector<std::int32_t> lf_ht_;        ///< per-column free-run heights
+  mutable std::vector<std::int32_t> lf_stack_x_;   ///< monotonic stack: start col
+  mutable std::vector<std::int32_t> lf_stack_h_;   ///< monotonic stack: height
+
+  // largest_free descent path (stale-frontier narrow queries): per-width
+  // run-mask levels with per-row stamps, window AND scratch, live-row list.
+  mutable std::vector<std::uint64_t> lf_c_;  ///< descent: window AND
   mutable std::vector<std::int32_t> lf_active_;  ///< rows with live windows
   mutable std::vector<std::vector<std::uint64_t>> lf_levels_;    ///< R_w blocks
   mutable std::vector<std::vector<std::uint64_t>> lf_level_gen_; ///< stamps
   mutable std::vector<std::vector<std::uint8_t>> lf_level_nz_;   ///< row has runs?
+
   // best_fit scoring cache: per-row within-row free-count prefix sums,
   // valid iff the row's stamp matches row_gen_ (so allocate/release keep it
   // incrementally current), plus the sliding window column sums.

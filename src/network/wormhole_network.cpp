@@ -31,6 +31,7 @@ void WormholeNetwork::inject(mesh::NodeId src, mesh::NodeId dst, std::uint64_t t
   p.src = src;
   p.dst = dst;
   p.waiting = false;
+  p.next_waiter = -1;
   ++metrics_.injected;
   try_advance(idx);
 }
@@ -43,7 +44,13 @@ void WormholeNetwork::try_advance(std::int32_t pkt) {
   } else {
     p.waiting = true;
     p.block_start = sim_.now();
-    ch.waiters.push_back(pkt);
+    p.next_waiter = -1;
+    if (ch.wait_tail < 0) {
+      ch.wait_head = ch.wait_tail = pkt;
+    } else {
+      pool_[static_cast<std::size_t>(ch.wait_tail)].next_waiter = pkt;
+      ch.wait_tail = pkt;
+    }
   }
 }
 
@@ -106,10 +113,12 @@ void WormholeNetwork::release_channel(ChannelId ch_id) {
   Packet& holder = pool_[static_cast<std::size_t>(ch.holder)];
   --holder.held;
   ch.holder = -1;
-  if (!ch.waiters.empty()) {
-    const std::int32_t next_pkt = ch.waiters.front();
-    ch.waiters.pop_front();
+  if (ch.wait_head >= 0) {
+    const std::int32_t next_pkt = ch.wait_head;
     Packet& p = pool_[static_cast<std::size_t>(next_pkt)];
+    ch.wait_head = p.next_waiter;
+    if (ch.wait_head < 0) ch.wait_tail = -1;
+    p.next_waiter = -1;
     p.waiting = false;
     p.blocked += sim_.now() - p.block_start;
     acquire(next_pkt, sim_.now());
@@ -124,10 +133,7 @@ void WormholeNetwork::recycle(std::int32_t pkt) {
 void WormholeNetwork::reset() {
   if (in_flight() != 0)
     throw std::logic_error("WormholeNetwork::reset: packets still in flight");
-  for (Channel& c : channels_) {
-    c.holder = -1;
-    c.waiters.clear();
-  }
+  for (Channel& c : channels_) c = Channel{};
   pool_.clear();
   free_pool_.clear();
   metrics_.reset();

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -94,15 +93,22 @@ class WormholeNetwork {
   void reset();
 
  private:
+  // The waiter FIFO is intrusive (head/tail indices here, a `next_waiter`
+  // link in Packet): a header blocks on at most one channel at a time, and a
+  // per-channel container would cost one heap allocation per channel just to
+  // default-construct — ~2M channels on a 512×512 mesh, rebuilt every
+  // replication.
   struct Channel {
-    std::int32_t holder{-1};          // packet pool index, -1 when free
-    std::deque<std::int32_t> waiters; // blocked packet indices, FIFO
+    std::int32_t holder{-1};     // packet pool index, -1 when free
+    std::int32_t wait_head{-1};  // first blocked packet index, -1 when none
+    std::int32_t wait_tail{-1};  // last blocked packet index
   };
 
   struct Packet {
     std::vector<ChannelId> path;
-    std::int32_t next{0};       // next path index to acquire
-    std::int32_t held{0};       // channels currently held
+    std::int32_t next{0};        // next path index to acquire
+    std::int32_t held{0};        // channels currently held
+    std::int32_t next_waiter{-1};  // FIFO link while blocked on a channel
     double inject_time{0};
     double block_start{0};
     double blocked{0};

@@ -9,6 +9,7 @@ namespace {
 using procsim::mesh::Coord;
 using procsim::mesh::Geometry;
 using procsim::mesh::MeshState;
+using procsim::mesh::NodeId;
 using procsim::mesh::SubMesh;
 
 TEST(Geometry, IdCoordRoundTrip) {
@@ -155,6 +156,56 @@ TEST(MeshState, ClearRestoresPristine) {
   m.allocate(SubMesh{0, 0, 3, 3});
   m.clear();
   EXPECT_EQ(m.free_count(), 16);
+}
+
+TEST(MeshState, FreeNodesIntoRetainsCapacityAcrossCalls) {
+  // Paging(0) calls free_nodes_into on every scheduling pass with one reused
+  // buffer; at a 512×512 mesh (262,144 nodes) a per-call reallocation would
+  // be a malloc/free of a megabyte per event. The contract: after a first
+  // call sized the buffer, later calls never reallocate (clear() + reserve()
+  // within existing capacity keep the same heap block).
+  MeshState m(Geometry(512, 512));
+  ASSERT_EQ(m.geometry().nodes(), 262144);
+  std::vector<NodeId> buf;
+  m.free_nodes_into(buf);
+  ASSERT_EQ(buf.size(), 262144u);
+  const std::size_t cap = buf.capacity();
+  const NodeId* data = buf.data();
+  // Churn occupancy between calls so the free list genuinely changes size.
+  m.allocate(SubMesh{0, 0, 255, 255});
+  m.free_nodes_into(buf);
+  EXPECT_EQ(buf.size(), 262144u - 65536u);
+  EXPECT_EQ(buf.capacity(), cap);
+  EXPECT_EQ(buf.data(), data);
+  m.release(SubMesh{0, 0, 255, 255});
+  m.free_nodes_into(buf);
+  EXPECT_EQ(buf.size(), 262144u);
+  EXPECT_EQ(buf.capacity(), cap);
+  EXPECT_EQ(buf.data(), data);
+}
+
+TEST(MeshState, SubMeshOpsMatchPerNodeLoops) {
+  // The row-wise allocate/release/all_free must agree with the single-node
+  // path on every span alignment (start/middle/end of a row, full rows).
+  MeshState rowwise(Geometry(7, 5));
+  MeshState pernode(Geometry(7, 5));
+  const SubMesh spans[] = {{0, 0, 2, 1}, {3, 1, 6, 3}, {0, 4, 6, 4}, {5, 0, 5, 0}};
+  for (const SubMesh& s : spans) {
+    rowwise.allocate(s);
+    for (std::int32_t y = s.y1; y <= s.y2; ++y)
+      for (std::int32_t x = s.x1; x <= s.x2; ++x)
+        pernode.allocate(pernode.geometry().id(Coord{x, y}));
+    EXPECT_EQ(rowwise.free_count(), pernode.free_count());
+    for (NodeId n = 0; n < rowwise.geometry().nodes(); ++n)
+      ASSERT_EQ(rowwise.is_busy(n), pernode.is_busy(n)) << "node " << n;
+  }
+  EXPECT_FALSE(rowwise.all_free(SubMesh{0, 0, 0, 0}));
+  EXPECT_TRUE(rowwise.all_free(SubMesh{3, 0, 4, 0}));
+  EXPECT_THROW(rowwise.allocate(SubMesh{0, 0, 2, 1}), std::logic_error);
+  EXPECT_THROW(rowwise.release(SubMesh{2, 0, 3, 0}), std::logic_error);
+  EXPECT_THROW(rowwise.allocate(SubMesh{5, 3, 8, 4}), std::out_of_range);
+  for (const SubMesh& s : spans) rowwise.release(s);
+  EXPECT_EQ(rowwise.free_count(), 35);
 }
 
 }  // namespace

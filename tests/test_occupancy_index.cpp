@@ -92,8 +92,8 @@ class IndexEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(IndexEquivalence, MatchesLegacyScanUnderChurn) {
   procsim::des::Xoshiro256SS rng(GetParam());
   // Geometry drawn at random, biased to include word-boundary widths.
-  const std::int32_t widths[] = {5, 9, 16, 31, 33, 64, 65};
-  const std::int32_t w = widths[procsim::des::sample_uniform_int(rng, 0, 6)];
+  const std::int32_t widths[] = {5, 9, 16, 31, 33, 63, 64, 65};
+  const std::int32_t w = widths[procsim::des::sample_uniform_int(rng, 0, 7)];
   const auto l =
       static_cast<std::int32_t>(procsim::des::sample_uniform_int(rng, 3, 24));
   const Geometry g(w, l);
@@ -160,6 +160,127 @@ TEST_P(IndexEquivalence, MatchesLegacyScanUnderChurn) {
 
 INSTANTIATE_TEST_SUITE_P(RandomChurn, IndexEquivalence,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+/// 512-scale word-boundary widths: 511 (eight words with a 63-bit tail) and
+/// 512 (exactly eight full words, tail_mask all ones). Lengths stay small so
+/// the quadratic legacy oracle stays affordable per step — the *width* is
+/// what exercises the multi-word shift/mask/frontier arithmetic.
+class WideIndexEquivalence : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(WideIndexEquivalence, MatchesLegacyScanUnderChurn) {
+  const std::int32_t w = GetParam();
+  procsim::des::Xoshiro256SS rng(0x51DE + static_cast<std::uint64_t>(w));
+  const Geometry g(w, 10);
+  MeshState state(g);
+  OccupancyIndex idx(g);
+  std::vector<SubMesh> live;
+
+  for (int step = 0; step < 150; ++step) {
+    const auto a = static_cast<std::int32_t>(
+        procsim::des::sample_uniform_int(rng, 1, g.width() / 2));
+    const auto b = static_cast<std::int32_t>(
+        procsim::des::sample_uniform_int(rng, 1, 5));
+    if (live.empty() || procsim::des::sample_bernoulli(rng, 0.6)) {
+      const FreeSubmeshScan scan(state);
+      if (const auto s = scan.first_fit(a, b)) {
+        state.allocate(*s);
+        idx.allocate(*s);
+        live.push_back(*s);
+      }
+    } else {
+      const auto i = static_cast<std::size_t>(procsim::des::sample_uniform_int(
+          rng, 0, static_cast<std::int64_t>(live.size()) - 1));
+      state.release(live[i]);
+      idx.release(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    }
+
+    const FreeSubmeshScan oracle(state);
+    ASSERT_EQ(idx.free_count(), state.free_count()) << "step " << step;
+    const auto qa = static_cast<std::int32_t>(
+        procsim::des::sample_uniform_int(rng, 1, g.width()));
+    const auto qb = static_cast<std::int32_t>(
+        procsim::des::sample_uniform_int(rng, 1, g.length()));
+    ASSERT_EQ(idx.first_fit(qa, qb), oracle.first_fit(qa, qb))
+        << "step " << step << " q=" << qa << "x" << qb;
+    ASSERT_EQ(idx.best_fit(qa, qb), oracle.best_fit(qa, qb))
+        << "step " << step << " q=" << qa << "x" << qb;
+    // Narrow caps take the descent path, wide caps the frontier pass; both
+    // must reproduce the oracle at these widths.
+    const auto cw = static_cast<std::int32_t>(
+        procsim::des::sample_uniform_int(rng, 1, std::min(g.width(), 16)));
+    const auto cl = static_cast<std::int32_t>(
+        procsim::des::sample_uniform_int(rng, 1, 8));
+    ASSERT_EQ(idx.largest_free(cw, cl), oracle.largest_free(cw, cl))
+        << "step " << step << " caps=" << cw << "x" << cl;
+    if (step % 25 == 0) {
+      const auto area_cap = procsim::des::sample_uniform_int(rng, 1, g.nodes());
+      ASSERT_EQ(idx.largest_free(g.width(), g.length(), area_cap),
+                oracle.largest_free(g.width(), g.length(), area_cap))
+          << "step " << step << " area_cap=" << area_cap;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundary512, WideIndexEquivalence,
+                         ::testing::Values(511, 512));
+
+/// Hand-built fixtures pinning the documented largest_free preference order
+/// (README "Allocators & the occupancy index"): (1) maximum capped area,
+/// (2) smallest width among equal areas, (3) first row-major (y, x) base.
+/// Each case also re-checks the claim against the oracle on the same state.
+TEST(OccupancyIndex, LargestFreeTieBreaksMatchDocumentedOrder) {
+  const Geometry g(16, 16);
+  const auto oracle_agrees = [](const OccupancyIndex& idx, std::int32_t cw,
+                                std::int32_t cl, std::int64_t cap) {
+    return idx.largest_free(cw, cl, cap) ==
+           FreeSubmeshScan(idx.to_mesh_state()).largest_free(cw, cl, cap);
+  };
+
+  {
+    // Smallest width wins on equal areas, even though the wider 4×3 sits
+    // earlier in row-major order than the 3×4.
+    OccupancyIndex idx(g);
+    idx.allocate(SubMesh{0, 0, 15, 15});
+    idx.release(SubMesh{2, 1, 5, 3});    // 4 wide × 3 tall, area 12, early
+    idx.release(SubMesh{10, 8, 12, 11});  // 3 wide × 4 tall, area 12, late
+    const auto s = idx.largest_free(16, 16);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(*s, (SubMesh{10, 8, 12, 11}));
+    EXPECT_TRUE(oracle_agrees(idx, 16, 16,
+                              std::numeric_limits<std::int64_t>::max()));
+  }
+  {
+    // Equal area and equal width: the first (y, x) base in row-major order.
+    OccupancyIndex idx(g);
+    idx.allocate(SubMesh{0, 0, 15, 15});
+    idx.release(SubMesh{9, 0, 11, 3});   // 3×4 at (9, 0)
+    idx.release(SubMesh{2, 5, 4, 8});    // 3×4 at (2, 5) — later row
+    const auto s = idx.largest_free(16, 16);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->base(), (Coord{9, 0}));
+    EXPECT_TRUE(oracle_agrees(idx, 16, 16,
+                              std::numeric_limits<std::int64_t>::max()));
+  }
+  {
+    // The area cap reshapes the winner: inside a free 5×5 block, max_area 12
+    // admits 3×4 (w=3 reaches area 12 first; w=4×3 ties and loses on width).
+    OccupancyIndex idx(g);
+    idx.allocate(SubMesh{0, 0, 15, 15});
+    idx.release(SubMesh{4, 4, 8, 8});
+    const auto s = idx.largest_free(16, 16, 12);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(*s, SubMesh::from_base(Coord{4, 4}, 3, 4));
+    EXPECT_TRUE(oracle_agrees(idx, 16, 16, 12));
+    // Width cap 2 forces the tall 2×5 strip instead.
+    const auto t = idx.largest_free(2, 16);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, SubMesh::from_base(Coord{4, 4}, 2, 5));
+    EXPECT_TRUE(oracle_agrees(idx, 2, 16,
+                              std::numeric_limits<std::int64_t>::max()));
+  }
+}
 
 /// The shape-aware reservation probe: first_fit under "these busy blocks
 /// were released" must agree with a brute-force future-occupancy replay —
