@@ -14,6 +14,14 @@
 //                          slowdown_p95|slowdown_p99|slowdown_max|starved]
 //                 [--loads=0.005,0.01,...]
 //                 [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]
+//                 [--telemetry=PATH[;dt=X]] [--counters[=PATH]]
+//                 [--trace=PATH] [--job-records=PATH[.jsonl|.csv]]
+//
+// The observability flags run ONE extra instrumented replication of the
+// grid's first cell (same seed substream as that cell's first replication)
+// after the sweep, writing its telemetry CSV / counters JSON / binary trace
+// (convert with trace_convert) / per-job records. The grid CSV on stdout is
+// byte-identical with or without them — the recorder contract.
 //
 // With one mesh the CSV has one row per load (the fig binaries' layout).
 // With several meshes it has one row per mesh size at the first load — the
@@ -37,6 +45,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -45,6 +55,9 @@
 
 #include "alloc/registry.hpp"
 #include "bench_common.hpp"
+#include "core/job_record_store.hpp"
+#include "des/rng.hpp"
+#include "obs/recorder.hpp"
 #include "sched/registry.hpp"
 #include "workload/source_registry.hpp"
 
@@ -82,6 +95,12 @@ std::optional<mesh::Geometry> parse_mesh(const std::string& s) {
             << "                    bursty[;key=value...]]\n"
             << "         [--metric=M] [--loads=x[,x...]]\n"
             << "         [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]\n"
+            << "         [--telemetry=PATH[;dt=X]] [--counters[=PATH]]\n"
+            << "         [--trace=PATH] [--job-records=PATH[.jsonl|.csv]]\n"
+            << "observability flags add ONE instrumented replication of the first\n"
+            << "  cell after the sweep (grid CSV bytes unchanged); --counters with\n"
+            << "  no path prints the JSON to stderr; --trace writes the binary\n"
+            << "  format trace_convert consumes\n"
             << "workload spec keys (workload/source_registry.hpp): load, jobs, mes,\n"
             << "  f (trace arrival factor), n/dist (saturation), b/phase (bursty)\n"
             << "fairness metrics (per-job record stream): wait_mean, wait_p50/p95/p99,\n"
@@ -106,6 +125,9 @@ int main(int argc, char** argv) {
   std::string workload = "uniform";
   std::string metric = "turnaround";
   std::string loads_arg;
+  std::string telemetry_path, counters_path, trace_path, job_records_path;
+  bool counters_requested = false;
+  double telemetry_dt = 100.0;
 
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -123,6 +145,30 @@ int main(int argc, char** argv) {
       metric = value;
     } else if (take_value(argv[i], "--loads=", value)) {
       loads_arg = value;
+    } else if (take_value(argv[i], "--telemetry=", value)) {
+      // PATH[;dt=X] — the sampling interval rides in the same argument so
+      // shell quoting stays one token: --telemetry='out.csv;dt=50'.
+      const auto semi = value.find(';');
+      telemetry_path = value.substr(0, semi);
+      if (semi != std::string::npos) {
+        const std::string rest = value.substr(semi + 1);
+        if (rest.rfind("dt=", 0) != 0)
+          usage_error("bad --telemetry option '" + rest + "' (expected dt=X)");
+        char* end = nullptr;
+        telemetry_dt = std::strtod(rest.c_str() + 3, &end);
+        if (*end != '\0' || telemetry_dt <= 0)
+          usage_error("bad --telemetry dt '" + rest.substr(3) + "'");
+      }
+      if (telemetry_path.empty()) usage_error("empty --telemetry path");
+    } else if (take_value(argv[i], "--counters=", value)) {
+      counters_requested = true;
+      counters_path = value;
+    } else if (std::strcmp(argv[i], "--counters") == 0) {
+      counters_requested = true;  // bare: JSON to stderr, stdout stays CSV
+    } else if (take_value(argv[i], "--trace=", value)) {
+      trace_path = value;
+    } else if (take_value(argv[i], "--job-records=", value)) {
+      job_records_path = value;
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -287,5 +333,66 @@ int main(int argc, char** argv) {
   }
 
   core::run_grid(grid, opts, std::cout, /*with_ci=*/true);
+
+  // One instrumented replication of the first cell: same configuration and
+  // seed substream as that cell's first replication, so the artifacts
+  // describe a run the grid actually aggregated. The recorder attaches only
+  // here — the grid CSV above is produced detached and must not change by a
+  // byte whether or not any of these flags were given.
+  const bool obs_requested = !telemetry_path.empty() || counters_requested ||
+                             !trace_path.empty() || !job_records_path.empty();
+  if (obs_requested) {
+    obs::Recorder rec;
+    if (!trace_path.empty()) rec.enable_trace();
+    if (!telemetry_path.empty()) rec.enable_telemetry(telemetry_dt);
+    rec.enable_phase_timers();
+    core::JobRecordStore job_records;
+    core::ExperimentConfig cfg = grid.cell(0, 0);
+    cfg.seed = des::substream_seed(opts.seed, 0);
+    (void)core::run_probed(cfg, &rec,
+                           job_records_path.empty() ? nullptr : &job_records);
+
+    const auto open_or_die = [](const std::string& path, bool binary,
+                                std::ofstream& out) {
+      out.open(path, binary ? std::ios::binary | std::ios::trunc
+                            : std::ios::trunc);
+      if (!out) {
+        std::cerr << "procsim_sweep: cannot write " << path << "\n";
+        std::exit(3);
+      }
+    };
+    if (!telemetry_path.empty()) {
+      std::ofstream out;
+      open_or_die(telemetry_path, false, out);
+      rec.sampler()->write_csv(out);
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out;
+      open_or_die(trace_path, true, out);
+      obs::write_binary(*rec.trace(), out);
+    }
+    if (!job_records_path.empty()) {
+      std::ofstream out;
+      open_or_die(job_records_path, false, out);
+      const bool jsonl = job_records_path.size() >= 6 &&
+                         job_records_path.rfind(".jsonl") ==
+                             job_records_path.size() - 6;
+      if (jsonl)
+        job_records.write_jsonl(out);
+      else
+        job_records.write_csv(out);
+    }
+    if (counters_requested) {
+      if (counters_path.empty()) {
+        rec.counters().write_json(std::cerr);
+        std::cerr << "\n";
+      } else {
+        std::ofstream out;
+        open_or_die(counters_path, false, out);
+        rec.counters().write_json(out);
+        out << "\n";
+      }
+    }
+  }
   return 0;
 }

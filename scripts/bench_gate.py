@@ -16,6 +16,14 @@ Gated (hard-fail) rows, chosen for signal over CI noise:
   BENCH_event.json  end_to_end[] engine == calendar -> events_per_sec
                                  (full-DES churn on the production path;
                                  the legacy configuration is report-only)
+  BENCH_event.json  observability.overhead_frac <= 0.02 — an *absolute*
+                                 budget (the obs::Recorder zero-overhead-off
+                                 contract), checked on the current run even
+                                 when no baseline exists yet.
+
+A malformed or truncated bench JSON (an interrupted baseline upload, a
+half-written artifact) exits 3 with a one-line ERROR instead of a traceback,
+so CI distinguishes "bad input" from "perf regressed" (exit 1).
 
 Report-only rows (printed, never fail — source throughput swings more on
 shared runners): BENCH_workload.json sources[] jobs_per_sec.
@@ -43,16 +51,27 @@ import os
 import sys
 
 THRESHOLD_DEFAULT = 0.25
+# Absolute ceiling on obs::Recorder attach cost (BENCH_event.json
+# "observability" object) — the zero-overhead-off contract, not a ratio
+# against a baseline.
+OVERHEAD_MAX = 0.02
 
 GATED_QUERIES = ("first_fit", "largest_free")
 GATED_CHURN = ("FirstFit", "GABL")
 GATED_QUEUE_IMPL = "calendar"
 GATED_E2E_ENGINE = "calendar"
 
+EXIT_BAD_INPUT = 3
+
 
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as e:
+        print(f"ERROR: malformed or truncated bench JSON: {path}: {e}",
+              file=sys.stderr)
+        sys.exit(EXIT_BAD_INPUT)
 
 
 def index_rows(rows, keys):
@@ -92,6 +111,31 @@ def compare_rows(label, base_rows, cur_rows, keys, value, threshold, gate):
                 )
         print(f"  {label} {key}: {old:.0f} -> {new:.0f} ({ratio:.2f}x) {verdict}")
     return failures
+
+
+def check_overhead(current_dir):
+    """Absolute observability-overhead budget on the *current* run.
+
+    Baseline-free by design: a freshly seeded cache must still hold the
+    recorder to OVERHEAD_MAX. Missing file/section passes with a notice
+    (older bench emitters had no observability row).
+    """
+    path = os.path.join(current_dir, "BENCH_event.json")
+    if not os.path.exists(path):
+        print("BENCH_event.json: absent, observability budget not checked")
+        return []
+    obs = load(path).get("observability")
+    if obs is None:
+        print("BENCH_event.json: no observability section, budget not checked")
+        return []
+    frac = obs["overhead_frac"]
+    verdict = "ok" if frac <= OVERHEAD_MAX else "OVER BUDGET"
+    print(f"  observability {obs.get('mesh', '?')}: recorder overhead "
+          f"{frac:.1%} (budget {OVERHEAD_MAX:.0%}) {verdict}")
+    if frac > OVERHEAD_MAX:
+        return [f"observability: recorder attach overhead {frac:.1%} exceeds "
+                f"the absolute {OVERHEAD_MAX:.0%} budget"]
+    return []
 
 
 def compare(baseline_dir, current_dir, threshold):
@@ -242,6 +286,10 @@ def self_test():
             {"mesh": "128x128", "allocator": "FirstFit", "engine": "calendar",
              "events_per_sec": 2.9e6, "events": 200000},
         ],
+        "observability": {"mesh": "128x128",
+                          "detached_events_per_sec": 2.9e6,
+                          "attached_events_per_sec": 2.87e6,
+                          "overhead_frac": 0.01},
     }
     slowed = copy.deepcopy(baseline)
     for row in slowed["queries"]:
@@ -358,6 +406,41 @@ def self_test():
                   f"({len(failures)} failures, expected 3)")
             return 1
         print("  gate tripped on exactly the calendar rows as expected")
+
+        print("--- self-test: 1% recorder overhead must PASS the absolute budget")
+        write(cur_dir, baseline, event_baseline)
+        if check_overhead(cur_dir):
+            print("self-test FAILED: the budget tripped on 1% overhead")
+            return 1
+        print("  budget passed as expected")
+
+        print("--- self-test: 3% recorder overhead must FAIL the absolute budget")
+        over = copy.deepcopy(event_baseline)
+        over["observability"]["overhead_frac"] = 0.03
+        write(cur_dir, baseline, over)
+        if not check_overhead(cur_dir):
+            print("self-test FAILED: the budget passed 3% overhead")
+            return 1
+        print("  budget tripped as expected")
+
+        print("--- self-test: a truncated bench JSON must exit "
+              f"{EXIT_BAD_INPUT}, not traceback")
+        event_path = os.path.join(cur_dir, "BENCH_event.json")
+        with open(event_path) as f:
+            intact = f.read()
+        with open(event_path, "w") as f:
+            f.write(intact[: len(intact) // 2])
+        try:
+            compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        except SystemExit as e:
+            if e.code != EXIT_BAD_INPUT:
+                print(f"self-test FAILED: truncated JSON exited {e.code}, "
+                      f"expected {EXIT_BAD_INPUT}")
+                return 1
+            print("  truncated JSON rejected with the distinct exit code")
+        else:
+            print("self-test FAILED: truncated JSON was not rejected")
+            return 1
     print("self-test OK")
     return 0
 
@@ -382,15 +465,23 @@ def main():
     if not os.path.isdir(args.baseline):
         if args.summary:
             write_summary(None, args.current, args.summary)
+        # The absolute observability budget has no baseline to wait for.
+        failures = check_overhead(args.current)
+        if failures:
+            print("\nFAIL:")
+            for f in failures:
+                print(f"  {f}")
+            sys.exit(1)
         print(f"no baseline directory at {args.baseline}: first run, passing")
         sys.exit(0)
 
     failures = compare(args.baseline, args.current, args.threshold)
+    failures += check_overhead(args.current)
     if args.summary:
         write_summary(args.baseline, args.current, args.summary)
     if failures:
         print("\nFAIL: throughput regressions beyond "
-              f"{args.threshold:.0%} of baseline:")
+              f"{args.threshold:.0%} of baseline (or absolute budgets):")
         for f in failures:
             print(f"  {f}")
         sys.exit(1)

@@ -3,7 +3,17 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/recorder.hpp"
+
 namespace procsim::alloc {
+
+void Allocator::note_attempt(const Request& req) const {
+  if (rec_ != nullptr) rec_->alloc_attempt(req.width, req.length, req.processors);
+}
+
+void Allocator::note_fallback(const Request& req) const {
+  if (rec_ != nullptr) rec_->alloc_fallback(req.width, req.length, req.processors);
+}
 
 void Allocator::finalize_placement(Placement& placement, const mesh::Geometry& geom,
                                    std::int32_t p) {

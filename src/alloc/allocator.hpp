@@ -10,6 +10,10 @@
 #include "mesh/occupancy_index.hpp"
 #include "mesh/submesh.hpp"
 
+namespace procsim::obs {
+class Recorder;
+}  // namespace procsim::obs
+
 namespace procsim::alloc {
 
 /// An allocation request. Stochastic workloads request a sub-mesh shape
@@ -107,6 +111,11 @@ class Allocator {
     return index_.free_count();
   }
 
+  /// Attaches (nullptr detaches) the observability recorder. Observation-only
+  /// like every obs hook: strategies note attempts/fallbacks through it, never
+  /// read it. SystemSim::run wires this from SystemConfig::recorder.
+  void set_recorder(obs::Recorder* rec) noexcept { rec_ = rec; }
+
  protected:
   /// Marks `s` (all currently free) busy in both occupancy views.
   void occupy(const mesh::SubMesh& s) {
@@ -132,9 +141,16 @@ class Allocator {
   static void finalize_placement(Placement& placement, const mesh::Geometry& geom,
                                  std::int32_t p);
 
+  /// Strategy-level observability notes (no-ops when detached). Strategies
+  /// call note_attempt() at allocate() entry and note_fallback() when they
+  /// leave their contiguous fast path (GABL carving, MBS buddy splitting).
+  void note_attempt(const Request& req) const;
+  void note_fallback(const Request& req) const;
+
  private:
   mesh::MeshState state_;
   mesh::OccupancyIndex index_;
+  obs::Recorder* rec_{nullptr};  ///< non-owning; null = observability off
 };
 
 /// Validates a request against a geometry (shared by all strategies).

@@ -6,6 +6,7 @@ namespace procsim::alloc {
 
 std::optional<Placement> ContiguousAllocator::allocate(const Request& req) {
   validate_request(req, geometry());
+  note_attempt(req);
   const std::int32_t a = std::min(req.width, geometry().width());
   const std::int32_t b = std::min(req.length, geometry().length());
 

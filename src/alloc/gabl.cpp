@@ -31,6 +31,7 @@ namespace {
 
 std::optional<Placement> GablAllocator::allocate(const Request& req) {
   validate_request(req, geometry());
+  note_attempt(req);
   const std::int64_t target = static_cast<std::int64_t>(req.width) * req.length;
   if (free_processors() < target) return std::nullopt;
 
@@ -50,6 +51,7 @@ std::optional<Placement> GablAllocator::allocate(const Request& req) {
   for (const mesh::SubMesh& blk : placement.blocks) held += blk.area();
 
   // Carving caps clamp to the mesh (an oversized side can never fit whole).
+  if (held < target) note_fallback(req);
   std::int32_t prev_w = std::min(req.width, geometry().width());
   std::int32_t prev_l = std::min(req.length, geometry().length());
   while (held < target) {

@@ -18,6 +18,7 @@ std::vector<std::int32_t> MbsAllocator::base4_factorize(std::int32_t p) {
 
 std::optional<Placement> MbsAllocator::allocate(const Request& req) {
   validate_request(req, geometry());
+  note_attempt(req);
   if (free_processors() < req.processors) return std::nullopt;
 
   // Outstanding block requests per order. Digits above the tiling's maximum
@@ -42,6 +43,7 @@ std::optional<Placement> MbsAllocator::allocate(const Request& req) {
   }
 
   Placement placement;
+  bool split = false;  // left the factorized shape (buddy break-up happened)
   std::vector<mesh::BuddyTiling::BlockId> taken;
   for (std::size_t order = want.size(); order-- > 0;) {
     while (want[order] > 0) {
@@ -49,6 +51,7 @@ std::optional<Placement> MbsAllocator::allocate(const Request& req) {
         taken.push_back(*block);
         --want[order];
       } else if (order > 0) {
+        split = true;
         // Break the request into four buddies one order down (paper: "the
         // requested block is broken into 4 requests for smaller blocks").
         want[order - 1] += 4 * want[order];
@@ -68,6 +71,7 @@ std::optional<Placement> MbsAllocator::allocate(const Request& req) {
     placement.blocks.push_back(tiling_.rect(id));
     placement.tags.push_back(id);
   }
+  if (split) note_fallback(req);
   for (const mesh::SubMesh& b : placement.blocks) occupy(b);
   finalize_placement(placement, geometry(), req.processors);
   return placement;

@@ -11,6 +11,7 @@ PagingAllocator::PagingAllocator(mesh::Geometry geom, std::int32_t size_index,
 
 std::optional<Placement> PagingAllocator::allocate(const Request& req) {
   validate_request(req, geometry());
+  note_attempt(req);
   // Pages are whole allocation units, so under pure Paging the free
   // processor count equals the capacity of the free pages.
   if (free_processors() < req.processors) return std::nullopt;

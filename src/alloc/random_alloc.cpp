@@ -6,6 +6,7 @@ namespace procsim::alloc {
 
 std::optional<Placement> RandomAllocator::allocate(const Request& req) {
   validate_request(req, geometry());
+  note_attempt(req);
   if (free_processors() < req.processors) return std::nullopt;
 
   // Reused scratch: the free list is rebuilt in place each call instead of

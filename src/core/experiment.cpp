@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "alloc/registry.hpp"
+#include "obs/recorder.hpp"
 #include "sched/registry.hpp"
 #include "stats/parallel_replication.hpp"
 #include "workload/source_registry.hpp"
@@ -103,7 +104,8 @@ std::vector<workload::Job> build_jobs(const WorkloadSpec& spec, const mesh::Geom
   return jobs;
 }
 
-RunMetrics run_once(const ExperimentConfig& cfg) {
+RunMetrics run_probed(const ExperimentConfig& cfg, obs::Recorder* recorder,
+                      MetricsSink* sink) {
   const auto allocator = make_allocator(cfg.allocator, cfg.sys.geom, cfg.seed);
   const auto scheduler = core::make_scheduler(cfg.scheduler);
   const auto source =
@@ -111,13 +113,27 @@ RunMetrics run_once(const ExperimentConfig& cfg) {
   source->reset(cfg.seed);
   SystemConfig sys = cfg.sys;
   sys.seed = cfg.seed ^ 0x5EEDF00DULL;
+  if (recorder != nullptr) sys.recorder = recorder;
   SystemSim sim(sys, *allocator, *scheduler);
+  if (sink != nullptr) sim.set_metrics_sink(sink);
+  return sim.run(*source);
+}
+
+RunMetrics run_once(const ExperimentConfig& cfg) {
   // The per-job record stream feeds the fairness analytics. Collection is
   // observation-only (MetricsSink contract), so attaching the sink cannot
   // change a single simulated event.
   stats::JobMetrics job_metrics;
-  sim.set_metrics_sink(&job_metrics);
-  RunMetrics m = sim.run(*source);
+  // --obs-probe: a per-replication fully-enabled recorder whose collected
+  // data is thrown away — runs the recorder contract on real figure work.
+  // Replication-local so concurrent grid cells never share recorder state.
+  std::unique_ptr<obs::Recorder> probe;
+  if (cfg.obs_probe) {
+    probe = std::make_unique<obs::Recorder>();
+    probe->enable_trace();
+    probe->enable_telemetry(100.0);
+  }
+  RunMetrics m = run_probed(cfg, probe.get(), &job_metrics);
   m.jobs.wait = job_metrics.wait();
   m.jobs.turnaround = job_metrics.turnaround();
   m.jobs.slowdown = job_metrics.bounded_slowdown();

@@ -75,6 +75,11 @@ struct ExperimentConfig {
   sched::SchedSpec scheduler{};  ///< canonical registry spec; default FCFS
   WorkloadSpec workload{};
   std::uint64_t seed{1};
+  /// Attach a throwaway fully-enabled obs::Recorder (trace + telemetry) to
+  /// every replication, discarding what it collects. Exists to *exercise*
+  /// the observation-only contract on real figure runs (--obs-probe): the
+  /// CSVs must come out byte-identical with this on.
+  bool obs_probe{false};
 
   [[nodiscard]] std::string series_label() const;
 };
@@ -96,6 +101,15 @@ struct ExperimentConfig {
 
 /// Runs a single replication end to end.
 [[nodiscard]] RunMetrics run_once(const ExperimentConfig& cfg);
+
+/// run_once's engine with explicit observability wiring: builds the
+/// allocator/scheduler/source for `cfg`, attaches `recorder` (overriding
+/// cfg.sys.recorder when non-null) and `sink` (when non-null), and runs one
+/// replication. This is how tools instrument a run — procsim_sweep's
+/// --telemetry/--counters/--trace/--job-records all lower onto it — while
+/// run_once itself stays the uninstrumented figure path.
+[[nodiscard]] RunMetrics run_probed(const ExperimentConfig& cfg,
+                                    obs::Recorder* recorder, MetricsSink* sink);
 
 /// Scalar per-replication observations, keyed by the metric names used
 /// throughout the benches: the paper's aggregates (turnaround, service,

@@ -42,6 +42,8 @@ RunOptions parse_run_options(int argc, char** argv) {
       opts.seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       opts.threads = static_cast<std::size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else if (std::strcmp(arg, "--obs-probe") == 0) {
+      opts.obs_probe = true;
     } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
       // Tolerate google-benchmark style flags so `for b in bench/*` harness
       // loops can pass uniform arguments.
@@ -61,6 +63,7 @@ RunOptions parse_run_options(int argc, char** argv) {
 }
 
 void apply_effort(ExperimentConfig& cfg, const RunOptions& opts) {
+  cfg.obs_probe = opts.obs_probe;
   if (!cfg.workload.source_spec.empty()) {
     // Registry-spec workloads: job_count is the stream-length override the
     // source registry consumes (spec-pinned keys still win).

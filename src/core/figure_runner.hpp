@@ -41,6 +41,9 @@ struct RunOptions {
   std::uint64_t seed{42};
   std::size_t threads{1};       ///< figure-cell workers; 0 = all hardware threads
   bool fast{false};             ///< shrink jobs/reps for smoke runs
+  /// Attach a throwaway fully-enabled obs::Recorder to every replication
+  /// (ExperimentConfig::obs_probe) — the CSV must not change by a byte.
+  bool obs_probe{false};
 };
 
 [[nodiscard]] RunOptions parse_run_options(int argc, char** argv);

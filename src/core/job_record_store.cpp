@@ -77,4 +77,23 @@ void JobRecordStore::write_csv(std::ostream& out) const {
   }
 }
 
+void JobRecordStore::write_jsonl(std::ostream& out) const {
+  // %.17g round-trips every double exactly; integers keep %d/%PRIu64 so the
+  // line is valid JSON with no quoting needed anywhere.
+  char line[512];
+  for (std::size_t i = 0; i < size_; ++i) {
+    const JobRecord r = record(i);
+    std::snprintf(line, sizeof line,
+                  "{\"id\":%" PRIu64
+                  ",\"arrival\":%.17g,\"start\":%.17g,\"finish\":%.17g,"
+                  "\"demand\":%.17g,\"width\":%d,\"length\":%d,"
+                  "\"processors\":%d,\"allocated\":%d,\"alloc_blocks\":%d,"
+                  "\"alloc_width\":%d,\"alloc_length\":%d}\n",
+                  r.id, r.arrival, r.start, r.finish, r.demand, r.width,
+                  r.length, r.processors, r.allocated, r.alloc_blocks,
+                  r.alloc_width, r.alloc_length);
+    out << line;
+  }
+}
+
 }  // namespace procsim::core

@@ -37,6 +37,12 @@ class JobRecordStore final : public MetricsSink {
   /// two runs that simulated identical trajectories write identical bytes.
   void write_csv(std::ostream& out) const;
 
+  /// Same records as one JSON object per line (JSON Lines) — the
+  /// stream-friendly export: every line parses standalone, so consumers can
+  /// tail, split or partially read a multi-million-job file. Same field
+  /// order, completion order, and byte-determinism contract as write_csv.
+  void write_jsonl(std::ostream& out) const;
+
  private:
   // One bounded SoA block; kChunkRecords trades allocation count against the
   // size of the final partially-filled block.

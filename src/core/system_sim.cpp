@@ -1,15 +1,18 @@
 #include "core/system_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
+
+#include "obs/recorder.hpp"
 
 namespace procsim::core {
 
 SystemSim::SystemSim(SystemConfig cfg, alloc::Allocator& allocator,
                      sched::Scheduler& scheduler)
     : cfg_(cfg), allocator_(allocator), scheduler_(scheduler),
-      sim_(cfg.event_engine) {
+      rec_(cfg.recorder), sim_(cfg.event_engine) {
   if (!(allocator.geometry() == cfg.geom))
     throw std::invalid_argument("SystemSim: allocator geometry mismatch");
 }
@@ -25,8 +28,10 @@ RunMetrics SystemSim::run(const std::vector<workload::Job>& jobs) {
 }
 
 RunMetrics SystemSim::run(workload::Source& source) {
+  const auto wall_start = std::chrono::steady_clock::now();
   sim_.reset();
   allocator_.reset();
+  allocator_.set_recorder(rec_);
   scheduler_.clear();
   arena_.clear();
   metrics_ = RunMetrics{};
@@ -39,9 +44,15 @@ RunMetrics SystemSim::run(workload::Source& source) {
   rng_ = des::Xoshiro256SS{cfg_.seed};
   net_ = std::make_unique<network::WormholeNetwork>(sim_, cfg_.geom, cfg_.net);
   net_->set_delivery_callback([this](const network::Delivery& d) { on_delivery(d); });
+  net_->set_recorder(rec_);
 
   source_ = &source;
   pump_arrival();
+  // The first telemetry snapshot lands at t = 0 (the pristine mesh); every
+  // sampling event is pure observation plus its own reschedule, and the
+  // (time, seq) pop order keeps all model-event pairs in their original
+  // relative order — trajectories are bit-identical with sampling on.
+  if (rec_ != nullptr && rec_->sampler() != nullptr) sample_telemetry();
   sim_.run(cfg_.max_events);
   source_ = nullptr;
 
@@ -54,6 +65,27 @@ RunMetrics SystemSim::run(workload::Source& source) {
       busy_procs_.average(end) / static_cast<double>(cfg_.geom.nodes());
   metrics_.mean_queue_length = queue_len_.average(end);
   metrics_.events = sim_.events_executed();
+  if (rec_ != nullptr) {
+    // End-of-run pull of the subsystem tallies the hot hooks never touch:
+    // the occupancy index and calendar queue keep their own lightweight
+    // counts (reset with the run), and reservation-aware schedulers export
+    // named counters without depending on obs.
+    obs::Counters& c = rec_->counters();
+    const mesh::OccupancyIndex::QueryStats& qs = allocator_.index().query_stats();
+    c.index_frontier_passes += qs.frontier_passes;
+    c.index_frontier_hits += qs.frontier_hits;
+    c.index_descent_queries += qs.descent_queries;
+    c.index_first_fit_queries += qs.first_fit_queries;
+    c.index_best_fit_queries += qs.best_fit_queries;
+    c.calendar_rebuckets += sim_.queue().rebucket_count();
+    c.sim_events += sim_.events_executed();
+    scheduler_.export_counters(c.extras);
+    if (rec_->timers_enabled()) {
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - wall_start;
+      c.add_timer("run_wall_s", wall.count());
+    }
+  }
   return metrics_;
 }
 
@@ -74,6 +106,8 @@ void SystemSim::pump_arrival() {
 }
 
 void SystemSim::on_arrival(workload::Job job) {
+  if (rec_ != nullptr)
+    rec_->job_arrival(sim_.now(), job.id, job.width, job.length, job.processors);
   sched::QueuedJob q;
   q.job_id = job.id;
   q.arrival = job.arrival;
@@ -118,7 +152,20 @@ void SystemSim::try_schedule() {
   // candidate or an attempt fails — for the ordered disciplines, which
   // always nominate the head and never probe, that failed attempt is
   // exactly the paper's blocking head-of-queue semantics (§4).
-  const sched::AllocProbe probe = [this](const sched::QueuedJob& q) {
+  std::uint32_t probes = 0;
+  std::int32_t nominees = 0;
+  std::int32_t started = 0;
+  std::uint64_t pass_seq = 0;
+  if (rec_ != nullptr) {
+    pass_seq = rec_->counters().schedule_passes;
+    rec_->pass_begin(sim_.now(), pass_seq,
+                     static_cast<std::uint64_t>(scheduler_.size()));
+  }
+  const sched::AllocProbe probe = [this, &probes](const sched::QueuedJob& q) {
+    if (rec_ != nullptr) {
+      rec_->probe_call();
+      ++probes;
+    }
     const workload::Job& job = queued_job(q.job_id);
     return allocator_.can_allocate(alloc::Request{job.width, job.length, job.processors});
   };
@@ -137,16 +184,31 @@ void SystemSim::try_schedule() {
                                     &shape_fit};
     const auto pos = scheduler_.select(probe, snap);
     if (!pos) break;
+    if (rec_ != nullptr) ++nominees;
     const sched::QueuedJob candidate = scheduler_.job_at(*pos);
     const workload::Job& job = queued_job(candidate.job_id);
     alloc::Request req{job.width, job.length, job.processors};
     auto placement = allocator_.allocate(req);
-    if (!placement) break;  // blocking semantics / a stale probe ends the pass
+    if (!placement) {
+      if (rec_ != nullptr)
+        rec_->alloc_fail(sim_.now(), job.id, req.width, req.length, req.processors);
+      break;  // blocking semantics / a stale probe ends the pass
+    }
+    if (rec_ != nullptr) {
+      const mesh::SubMesh& first = placement->blocks.front();
+      rec_->alloc_success(sim_.now(), job.id, placement->allocated,
+                          static_cast<std::uint32_t>(placement->blocks.size()),
+                          first.x1, first.y1, first.width(), first.length());
+      ++started;
+    }
     const sched::QueuedJob taken = scheduler_.take(*pos);
     scheduler_.on_start(taken, sim_.now(), placement->allocated, placement->blocks);
     queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
     start_job(arena_.slot_of(taken.job_id), std::move(*placement));
   }
+  if (rec_ != nullptr)
+    rec_->pass_end(sim_.now(), pass_seq, probes, nominees, started,
+                   static_cast<std::int32_t>(scheduler_.size()));
 }
 
 void SystemSim::start_job(JobArena::Slot slot, alloc::Placement placement) {
@@ -219,6 +281,10 @@ void SystemSim::complete_job(JobArena::Slot slot) {
   busy_procs_.add(now, -static_cast<double>(placement.allocated));
   allocator_.release(placement);
   scheduler_.on_complete(job.id, now);
+  if (rec_ != nullptr) {
+    rec_->release(now, job.id, placement.allocated);
+    rec_->complete(now, job.id, now - job.arrival);
+  }
 
   if (measuring()) {
     metrics_.turnaround.add(now - job.arrival);
@@ -257,6 +323,36 @@ void SystemSim::complete_job(JobArena::Slot slot) {
     return;
   }
   request_schedule();
+}
+
+void SystemSim::sample_telemetry() {
+  obs::GaugeSampler& sampler = *rec_->sampler();
+  const mesh::OccupancyIndex& index = allocator_.index();
+  obs::GaugeSampler::Sample s;
+  s.t = sim_.now();
+  s.queue_depth = scheduler_.size();
+  // Every resident job is either queued or holding processors.
+  s.running_jobs = arena_.active() - scheduler_.size();
+  s.busy_nodes = index.busy_count();
+  s.free_nodes = index.free_count();
+  s.max_free_run = index.max_free_run();
+  // The largest free sub-mesh, uncapped. Reading it may warm the index's
+  // frontier cache, but caches are semantically transparent — every
+  // subsequent query answers identically — so sampling stays observation-
+  // only (the attached-vs-detached byte compare pins this).
+  const auto rect = index.largest_free(cfg_.geom.width(), cfg_.geom.length());
+  s.largest_rect = rect ? rect->area() : 0;
+  s.external_frag =
+      s.free_nodes > 0
+          ? 1.0 - static_cast<double>(s.largest_rect) / static_cast<double>(s.free_nodes)
+          : 0.0;
+  sampler.append(s);
+  ++rec_->counters().telemetry_samples;
+  // Drain guard: keep sampling only while the run still has work — resident
+  // jobs or pending arrivals. Without it an unbounded reschedule would keep
+  // the event queue non-empty forever on runs that end by draining.
+  if (arena_.active() > 0 || (source_ != nullptr && source_->peek_arrival()))
+    sim_.schedule_in(sampler.interval(), [this] { sample_telemetry(); });
 }
 
 }  // namespace procsim::core

@@ -18,6 +18,10 @@
 #include "workload/job.hpp"
 #include "workload/source.hpp"
 
+namespace procsim::obs {
+class Recorder;
+}  // namespace procsim::obs
+
 namespace procsim::core {
 
 /// Machine- and run-level configuration of one simulation.
@@ -44,6 +48,11 @@ struct SystemConfig {
   /// (PROCSIM_EVENT_ENGINE, calendar when unset); the engines are pop-order
   /// identical, so this never changes results — only throughput.
   des::EventEngine event_engine{des::EventQueue::default_engine()};
+  /// Observability attach point (null = off). Observation-only like the
+  /// MetricsSink: attaching cannot change a simulated event, and every
+  /// hot-path hook is a null-pointer check when detached (obs::Recorder).
+  /// Non-owning; the recorder outlives every run() it observes.
+  obs::Recorder* recorder{nullptr};
 };
 
 /// Per-job wait/slowdown distribution summary — the fairness view the means
@@ -118,6 +127,9 @@ class SystemSim {
   void start_job(JobArena::Slot slot, alloc::Placement placement);
   void on_delivery(const network::Delivery& d);
   void complete_job(JobArena::Slot slot);
+  /// Takes one telemetry snapshot and, while jobs are resident or arrivals
+  /// pending, schedules the next (the drain guard: bounded runs still end).
+  void sample_telemetry();
   [[nodiscard]] bool measuring() const noexcept {
     return completed_ >= cfg_.warmup_completions;
   }
@@ -126,6 +138,7 @@ class SystemSim {
   alloc::Allocator& allocator_;
   sched::Scheduler& scheduler_;
   MetricsSink* sink_{nullptr};  ///< optional per-job record observer
+  obs::Recorder* rec_{nullptr};  ///< cfg_.recorder; hot-path null check
 
   // Per-run state (rebuilt in run()).
   des::Simulator sim_;

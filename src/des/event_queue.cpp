@@ -122,6 +122,7 @@ void EventQueue::clear() {
   cur_bucket_ = 0;
   size_ = 0;
   next_seq_ = 0;
+  rebuckets_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -188,6 +189,7 @@ Event EventQueue::calendar_pop() {
 
 void EventQueue::rebucket(std::size_t new_bucket_count) {
   new_bucket_count = pow2_at_least(new_bucket_count);
+  ++rebuckets_;
 
   // Drain the old calendar bucket by bucket. Events sharing a timestamp
   // always share a bucket and are seq-sorted there, so the scratch vector

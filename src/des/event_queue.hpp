@@ -64,6 +64,10 @@ class EventQueue {
   // Calendar internals exposed read-only for tests/benchmarks.
   [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
   [[nodiscard]] double bucket_width() const noexcept { return width_; }
+  /// Calendar resizes (grow + shrink) since construction/clear() — an
+  /// observability counter: a run that rebuckets often has an event-time
+  /// profile the bucket-width estimator keeps chasing.
+  [[nodiscard]] std::uint64_t rebucket_count() const noexcept { return rebuckets_; }
 
  private:
   /// One calendar bucket: events sorted ascending by (time, seq), consumed
@@ -109,6 +113,7 @@ class EventQueue {
 
   std::size_t size_{0};
   std::uint64_t next_seq_{0};
+  std::uint64_t rebuckets_{0};
 };
 
 }  // namespace procsim::des

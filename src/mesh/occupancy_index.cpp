@@ -102,6 +102,7 @@ void OccupancyIndex::clear() {
     dirty_row(y);
   }
   free_count_ = geom_.nodes();
+  qstats_ = QueryStats{};
 }
 
 bool OccupancyIndex::is_busy(Coord c) const {
@@ -463,6 +464,7 @@ const std::int32_t* OccupancyIndex::ensure_rowpref(std::int32_t y) const {
 
 void OccupancyIndex::ensure_frontier() const {
   if (lf_frontier_gen_ == gen_counter_ && !lf_frontier_.empty()) return;
+  ++qstats_.frontier_passes;
   const std::int32_t W = geom_.width();
   const std::int32_t L = geom_.length();
   lf_frontier_.assign(static_cast<std::size_t>(W) + 2, 0);
@@ -640,9 +642,13 @@ std::optional<SubMesh> OccupancyIndex::largest_free_impl(std::int32_t max_w,
   if (lf_frontier_gen_ != gen_counter_) {
     const bool burst = lf_last_query_gen_ == gen_counter_;
     lf_last_query_gen_ = gen_counter_;
-    if (!burst && max_w * 4 <= geom_.width() && max_w <= 48)
+    if (!burst && max_w * 4 <= geom_.width() && max_w <= 48) {
+      ++qstats_.descent_queries;
       return largest_free_descent(max_w, max_l, max_area);
+    }
     ensure_frontier();
+  } else {
+    ++qstats_.frontier_hits;
   }
   return largest_free_from_frontier(max_w, max_l, max_area);
 }
@@ -680,6 +686,7 @@ std::optional<SubMesh> OccupancyIndex::largest_free_from_frontier(
 }
 
 std::optional<SubMesh> OccupancyIndex::first_fit(std::int32_t a, std::int32_t b) const {
+  ++qstats_.first_fit_queries;
   const auto got = first_fit_impl(free_.data(), a, b);
   if (cross_check_enabled()) {
     const FreeSubmeshScan oracle(to_mesh_state());
@@ -691,6 +698,7 @@ std::optional<SubMesh> OccupancyIndex::first_fit(std::int32_t a, std::int32_t b)
 
 std::optional<SubMesh> OccupancyIndex::first_fit_assuming_free(
     std::int32_t a, std::int32_t b, const std::vector<SubMesh>& extra_free) const {
+  ++qstats_.first_fit_queries;
   assume_ = free_;
   for (const SubMesh& s : extra_free) {
     check_inside(s);
@@ -734,6 +742,7 @@ std::optional<SubMesh> OccupancyIndex::first_fit_rotatable(std::int32_t a,
 }
 
 std::optional<SubMesh> OccupancyIndex::best_fit(std::int32_t a, std::int32_t b) const {
+  ++qstats_.best_fit_queries;
   const auto got = best_fit_impl(a, b);
   if (cross_check_enabled()) {
     const FreeSubmeshScan oracle(to_mesh_state());
@@ -746,6 +755,7 @@ std::optional<SubMesh> OccupancyIndex::best_fit(std::int32_t a, std::int32_t b) 
 std::optional<SubMesh> OccupancyIndex::largest_free(std::int32_t max_w,
                                                     std::int32_t max_l,
                                                     std::int64_t max_area) const {
+  ++qstats_.largest_free_queries;
   const auto got = largest_free_impl(max_w, max_l, max_area);
   if (cross_check_enabled()) {
     const FreeSubmeshScan oracle(to_mesh_state());
@@ -753,6 +763,13 @@ std::optional<SubMesh> OccupancyIndex::largest_free(std::int32_t max_w,
     if (got != want) report_divergence("largest_free", max_w, max_l, got, want);
   }
   return got;
+}
+
+std::int32_t OccupancyIndex::max_free_run() const {
+  ensure_summaries();
+  std::int32_t best = 0;
+  for (const std::int32_t r : row_max_run_) best = std::max(best, r);
+  return best;
 }
 
 MeshState OccupancyIndex::to_mesh_state() const {

@@ -149,6 +149,25 @@ class OccupancyIndex {
       std::int32_t max_w, std::int32_t max_l,
       std::int64_t max_area = std::numeric_limits<std::int64_t>::max()) const;
 
+  /// Longest horizontal run of free nodes over all rows — a cheap
+  /// fragmentation gauge (telemetry): reads the row summaries, recomputing
+  /// only stale rows, so steady churn pays O(rows touched).
+  [[nodiscard]] std::int32_t max_free_run() const;
+
+  /// Observability: how often each query family ran and which largest_free
+  /// path answered. Monotone per run (clear() resets); bumping them is the
+  /// only side effect queries have on this struct, so attaching a reader
+  /// can never change an answer.
+  struct QueryStats {
+    std::uint64_t first_fit_queries{0};   ///< first_fit + rotatable + assuming
+    std::uint64_t best_fit_queries{0};
+    std::uint64_t largest_free_queries{0};
+    std::uint64_t frontier_passes{0};     ///< full maximal-rectangle passes
+    std::uint64_t frontier_hits{0};       ///< largest_free served by a valid frontier
+    std::uint64_t descent_queries{0};     ///< cap-bounded stale-path answers
+  };
+  [[nodiscard]] const QueryStats& query_stats() const noexcept { return qstats_; }
+
   /// Reconstructs the equivalent per-node MeshState (oracle and diagnostics).
   [[nodiscard]] MeshState to_mesh_state() const;
 
@@ -273,6 +292,8 @@ class OccupancyIndex {
   mutable std::vector<std::int32_t> bf_rowpref_;        ///< L × (W+1) prefix blocks
   mutable std::vector<std::uint64_t> bf_rowpref_gen_;   ///< per-row stamps
   mutable std::vector<std::int32_t> bf_win_;  ///< Σ rowpref over window rows
+
+  mutable QueryStats qstats_;  ///< observability tallies (see query_stats)
 };
 
 }  // namespace procsim::mesh

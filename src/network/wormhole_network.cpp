@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/recorder.hpp"
+
 namespace procsim::network {
 
 WormholeNetwork::WormholeNetwork(des::Simulator& sim, mesh::Geometry geom,
@@ -33,6 +35,9 @@ void WormholeNetwork::inject(mesh::NodeId src, mesh::NodeId dst, std::uint64_t t
   p.waiting = false;
   p.next_waiter = -1;
   ++metrics_.injected;
+  if (rec_ != nullptr)
+    rec_->packet_inject(sim_.now(), tag, static_cast<std::int32_t>(src),
+                        static_cast<std::int32_t>(dst));
   try_advance(idx);
 }
 
@@ -45,6 +50,10 @@ void WormholeNetwork::try_advance(std::int32_t pkt) {
     p.waiting = true;
     p.block_start = sim_.now();
     p.next_waiter = -1;
+    if (rec_ != nullptr)
+      rec_->channel_block(sim_.now(), p.tag,
+                          static_cast<std::int32_t>(
+                              p.path[static_cast<std::size_t>(p.next)]));
     if (ch.wait_tail < 0) {
       ch.wait_head = ch.wait_tail = pkt;
     } else {
@@ -102,6 +111,10 @@ void WormholeNetwork::complete(std::int32_t pkt, double t_eject_acquired) {
     metrics_.blocking.add(d.blocked);
     metrics_.hops.add(static_cast<double>(d.hops));
     ++metrics_.delivered;
+    if (rec_ != nullptr)
+      rec_->packet_deliver(sim_.now(), d.tag, static_cast<std::int32_t>(d.src),
+                           static_cast<std::int32_t>(d.dst), d.hops, d.latency,
+                           d.blocked);
     recycle(pkt);
     if (on_delivery_) on_delivery_(d);
   });

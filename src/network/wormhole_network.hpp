@@ -9,6 +9,10 @@
 #include "network/routing.hpp"
 #include "stats/welford.hpp"
 
+namespace procsim::obs {
+class Recorder;
+}  // namespace procsim::obs
+
 namespace procsim::network {
 
 /// Simulation parameters of the interconnect, names following the paper:
@@ -74,6 +78,10 @@ class WormholeNetwork {
   /// Invoked on every completed delivery (after metrics are updated).
   void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
 
+  /// Attaches (nullptr detaches) the observability recorder; observation-only,
+  /// wired by SystemSim::run from SystemConfig::recorder.
+  void set_recorder(obs::Recorder* rec) noexcept { rec_ = rec; }
+
   [[nodiscard]] const NetworkMetrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] std::uint64_t in_flight() const noexcept {
     return metrics_.injected - metrics_.delivered;
@@ -132,6 +140,7 @@ class WormholeNetwork {
   std::vector<std::int32_t> free_pool_;
   NetworkMetrics metrics_;
   DeliveryCallback on_delivery_;
+  obs::Recorder* rec_{nullptr};  ///< non-owning; null = observability off
 };
 
 }  // namespace procsim::network

@@ -1,0 +1,47 @@
+#include "obs/gauge_sampler.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace procsim::obs {
+
+GaugeSampler::Sample GaugeSampler::sample(std::size_t i) const {
+  Sample s;
+  s.t = t_[i];
+  s.queue_depth = queue_depth_[i];
+  s.running_jobs = running_jobs_[i];
+  s.busy_nodes = busy_nodes_[i];
+  s.free_nodes = free_nodes_[i];
+  s.max_free_run = max_free_run_[i];
+  s.largest_rect = largest_rect_[i];
+  s.external_frag = external_frag_[i];
+  return s;
+}
+
+void GaugeSampler::clear() {
+  t_.clear();
+  queue_depth_.clear();
+  running_jobs_.clear();
+  busy_nodes_.clear();
+  free_nodes_.clear();
+  max_free_run_.clear();
+  largest_rect_.clear();
+  external_frag_.clear();
+}
+
+void GaugeSampler::write_csv(std::ostream& out) const {
+  out << kCsvHeader << "\n";
+  char line[256];
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    std::snprintf(line, sizeof line,
+                  "%.6g,%" PRIu64 ",%" PRIu64 ",%" PRId64 ",%" PRId64 ",%" PRId32
+                  ",%" PRId64 ",%.6g\n",
+                  t_[i], queue_depth_[i], running_jobs_[i], busy_nodes_[i],
+                  free_nodes_[i], max_free_run_[i], largest_rect_[i],
+                  external_frag_[i]);
+    out << line;
+  }
+}
+
+}  // namespace procsim::obs

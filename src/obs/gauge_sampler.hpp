@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <vector>
+
+namespace procsim::obs {
+
+/// The time-series telemetry pillar: a columnar store of machine-state
+/// snapshots taken every `interval` units of *simulated* time. SystemSim
+/// drives the sampling (it owns the clock and the drain guard); the sampler
+/// only stores and exports.
+///
+/// Columns (one vector per gauge, SoA like JobRecordStore) keep a long
+/// sweep's telemetry cache-friendly and make the CSV export a column zip.
+class GaugeSampler {
+ public:
+  explicit GaugeSampler(double interval) : interval_(interval) {
+    if (!(interval > 0))
+      throw std::invalid_argument("GaugeSampler: interval must be positive");
+  }
+
+  /// Sim-time spacing between samples.
+  [[nodiscard]] double interval() const noexcept { return interval_; }
+
+  /// One machine-state snapshot. `external_frag` is the paper's external
+  /// fragmentation view: 1 - largest_free_rect / free_nodes (0 when nothing
+  /// is free) — how much of the free pool is unusable by the largest
+  /// contiguous request that still fits.
+  struct Sample {
+    double t{0};
+    std::uint64_t queue_depth{0};   ///< jobs waiting
+    std::uint64_t running_jobs{0};  ///< jobs holding processors
+    std::int64_t busy_nodes{0};
+    std::int64_t free_nodes{0};
+    std::int32_t max_free_run{0};   ///< widest per-row free run (frontier width)
+    std::int64_t largest_rect{0};   ///< area of the largest free sub-mesh
+    double external_frag{0};
+  };
+
+  void append(const Sample& s) {
+    t_.push_back(s.t);
+    queue_depth_.push_back(s.queue_depth);
+    running_jobs_.push_back(s.running_jobs);
+    busy_nodes_.push_back(s.busy_nodes);
+    free_nodes_.push_back(s.free_nodes);
+    max_free_run_.push_back(s.max_free_run);
+    largest_rect_.push_back(s.largest_rect);
+    external_frag_.push_back(s.external_frag);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return t_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return t_.empty(); }
+
+  /// Reassembles the i-th sample. Precondition: i < size().
+  [[nodiscard]] Sample sample(std::size_t i) const;
+
+  void clear();
+
+  /// The telemetry artifact: header + one row per sample, fixed %.6g
+  /// formatting (byte-stable for identical trajectories).
+  static constexpr const char* kCsvHeader =
+      "t,queue_depth,running_jobs,busy_nodes,free_nodes,max_free_run,"
+      "largest_rect,external_frag";
+  void write_csv(std::ostream& out) const;
+
+ private:
+  double interval_;
+  std::vector<double> t_;
+  std::vector<std::uint64_t> queue_depth_, running_jobs_;
+  std::vector<std::int64_t> busy_nodes_, free_nodes_, largest_rect_;
+  std::vector<std::int32_t> max_free_run_;
+  std::vector<double> external_frag_;
+};
+
+}  // namespace procsim::obs

@@ -1,0 +1,20 @@
+#include "obs/recorder.hpp"
+
+namespace procsim::obs {
+
+void Recorder::enable_trace() {
+  if (!trace_) trace_ = std::make_unique<TraceBuffer>();
+}
+
+void Recorder::enable_telemetry(double interval) {
+  sampler_ = std::make_unique<GaugeSampler>(interval);
+}
+
+void Recorder::reset_run() {
+  counters_.reset();
+  if (trace_) trace_->clear();
+  if (sampler_) sampler_->clear();
+  now_ = 0;
+}
+
+}  // namespace procsim::obs

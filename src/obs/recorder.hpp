@@ -1,0 +1,191 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/counters.hpp"
+#include "obs/gauge_sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace procsim::obs {
+
+/// The single observability attach point: one Recorder bundles the three
+/// pillars — structured event tracing (TraceBuffer), time-series telemetry
+/// (GaugeSampler) and the counter/timer registry (Counters) — behind
+/// `SystemConfig::recorder` (null by default).
+///
+/// Contract (the MetricsSink rule, extended):
+///  * Observation-only. A hook reads model state and writes recorder state,
+///    never the reverse — attaching a Recorder cannot change a single
+///    simulated event, and the figure CSVs are byte-identical attached vs
+///    detached (test_obs + the CI byte-compare enforce this).
+///  * Zero overhead off. Every instrumentation site in the simulation hot
+///    path is `if (recorder) recorder->hook(...)` — a null-pointer check and
+///    nothing else when detached (< 2 % on the 128x128 churn bench, gated).
+///  * Cheap on. Hooks are inline; with tracing disabled each costs a few
+///    counter increments.
+///
+/// Counters are always live when attached; tracing and telemetry are opt-in
+/// (enable_trace / enable_telemetry). Telemetry sampling events are
+/// scheduled by SystemSim — they interleave with model events but the
+/// (time, seq) pop order keeps every model-event pair in its original
+/// relative order, so trajectories are unchanged.
+///
+/// A Recorder is single-simulation state, exactly like the allocator it
+/// observes: concurrent replications must each attach their own.
+class Recorder {
+ public:
+  Recorder() = default;
+
+  /// Allocates the trace buffer; hooks start appending records.
+  void enable_trace();
+  /// Constructs the gauge sampler with a sim-time sampling interval.
+  void enable_telemetry(double interval);
+  /// Opt into wall-clock phase timers (Counters::timers). Off by default so
+  /// the counters-only overhead stays at plain increments.
+  void enable_phase_timers() noexcept { timers_enabled_ = true; }
+
+  [[nodiscard]] Counters& counters() noexcept { return counters_; }
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+  [[nodiscard]] TraceBuffer* trace() noexcept { return trace_.get(); }
+  [[nodiscard]] const TraceBuffer* trace() const noexcept { return trace_.get(); }
+  [[nodiscard]] GaugeSampler* sampler() noexcept { return sampler_.get(); }
+  [[nodiscard]] const GaugeSampler* sampler() const noexcept { return sampler_.get(); }
+  [[nodiscard]] bool timers_enabled() const noexcept { return timers_enabled_; }
+
+  /// Clears all collected data (counters, trace records, samples) while
+  /// keeping what is enabled — call between runs that share one Recorder.
+  void reset_run();
+
+  // --- Hot instrumentation hooks (called only behind a null check) -------
+
+  /// Hooks without a time argument (the strategy-level allocator notes)
+  /// stamp records with the last time any timed hook saw; SystemSim's pass
+  /// hooks keep it current, since strategy calls only happen inside passes.
+  void set_now(double t) noexcept { now_ = t; }
+
+  void job_arrival(double t, std::uint64_t id, std::int32_t w, std::int32_t l,
+                   std::int32_t p) {
+    now_ = t;
+    ++counters_.jobs_arrived;
+    if (trace_)
+      trace_->append({t, 0, 0, id, static_cast<std::uint32_t>(TraceKind::kArrival),
+                      0, w, l, p, 0});
+  }
+
+  void pass_begin(double t, std::uint64_t pass, std::uint64_t queued) {
+    now_ = t;
+    ++counters_.schedule_passes;
+    if (trace_)
+      trace_->append({t, 0, 0, pass,
+                      static_cast<std::uint32_t>(TraceKind::kPassBegin),
+                      static_cast<std::uint32_t>(queued), 0, 0, 0, 0});
+  }
+
+  void pass_end(double t, std::uint64_t pass, std::uint32_t probes,
+                std::int32_t nominees, std::int32_t started,
+                std::int32_t queued_after) {
+    counters_.nominations += static_cast<std::uint64_t>(nominees);
+    counters_.jobs_started += static_cast<std::uint64_t>(started);
+    if (trace_)
+      trace_->append({t, 0, 0, pass, static_cast<std::uint32_t>(TraceKind::kPassEnd),
+                      probes, nominees, started, queued_after, 0});
+  }
+
+  void probe_call() noexcept { ++counters_.probe_calls; }
+
+  /// Strategy-level allocate() entry (alloc::Allocator::note_attempt).
+  void alloc_attempt(std::int32_t w, std::int32_t l, std::int32_t p) {
+    ++counters_.alloc_attempts;
+    if (trace_)
+      trace_->append({now_, 0, 0, 0,
+                      static_cast<std::uint32_t>(TraceKind::kAllocAttempt), 0, w, l,
+                      p, 0});
+  }
+
+  /// Strategy left its contiguous fast path (GABL carving, MBS buddy split).
+  void alloc_fallback(std::int32_t w, std::int32_t l, std::int32_t p) {
+    ++counters_.alloc_fallbacks;
+    if (trace_)
+      trace_->append({now_, 0, 0, 0,
+                      static_cast<std::uint32_t>(TraceKind::kAllocFallback), 0, w,
+                      l, p, 0});
+  }
+
+  void alloc_success(double t, std::uint64_t id, std::int32_t allocated,
+                     std::uint32_t blocks, std::int32_t base_x, std::int32_t base_y,
+                     std::int32_t blk_w, std::int32_t blk_l) {
+    now_ = t;
+    ++counters_.alloc_successes;
+    if (trace_)
+      trace_->append({t, static_cast<double>(allocated), 0, id,
+                      static_cast<std::uint32_t>(TraceKind::kAllocSuccess), blocks,
+                      base_x, base_y, blk_w, blk_l});
+  }
+
+  void alloc_fail(double t, std::uint64_t id, std::int32_t w, std::int32_t l,
+                  std::int32_t p) {
+    now_ = t;
+    ++counters_.alloc_failures;
+    if (trace_)
+      trace_->append({t, 0, 0, id, static_cast<std::uint32_t>(TraceKind::kAllocFail),
+                      0, w, l, p, 0});
+  }
+
+  void release(double t, std::uint64_t id, std::int32_t allocated) {
+    now_ = t;
+    ++counters_.jobs_released;
+    if (trace_)
+      trace_->append({t, static_cast<double>(allocated), 0, id,
+                      static_cast<std::uint32_t>(TraceKind::kRelease), 0, 0, 0, 0,
+                      0});
+  }
+
+  void complete(double t, std::uint64_t id, double turnaround) {
+    now_ = t;
+    ++counters_.jobs_completed;
+    if (trace_)
+      trace_->append({t, turnaround, 0, id,
+                      static_cast<std::uint32_t>(TraceKind::kComplete), 0, 0, 0, 0,
+                      0});
+  }
+
+  void packet_inject(double t, std::uint64_t tag, std::int32_t src,
+                     std::int32_t dst) {
+    now_ = t;
+    ++counters_.packets_injected;
+    if (trace_)
+      trace_->append({t, 0, 0, tag,
+                      static_cast<std::uint32_t>(TraceKind::kPacketInject), 0, src,
+                      dst, 0, 0});
+  }
+
+  void packet_deliver(double t, std::uint64_t tag, std::int32_t src,
+                      std::int32_t dst, std::int32_t hops, double latency,
+                      double blocked) {
+    now_ = t;
+    ++counters_.packets_delivered;
+    if (trace_)
+      trace_->append({t, latency, blocked, tag,
+                      static_cast<std::uint32_t>(TraceKind::kPacketDeliver),
+                      static_cast<std::uint32_t>(hops), src, dst, 0, 0});
+  }
+
+  void channel_block(double t, std::uint64_t tag, std::int32_t channel) {
+    now_ = t;
+    ++counters_.channel_blocks;
+    if (trace_)
+      trace_->append({t, 0, 0, tag,
+                      static_cast<std::uint32_t>(TraceKind::kChannelBlock), 0,
+                      channel, 0, 0, 0});
+  }
+
+ private:
+  Counters counters_;
+  std::unique_ptr<TraceBuffer> trace_;
+  std::unique_ptr<GaugeSampler> sampler_;
+  double now_{0};
+  bool timers_enabled_{false};
+};
+
+}  // namespace procsim::obs

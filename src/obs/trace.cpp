@@ -1,0 +1,199 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace procsim::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'S', 'T', 'R', 'A', 'C', 'E', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t record_size;
+  std::uint64_t count;
+};
+static_assert(sizeof(FileHeader) == 24);
+static_assert(std::is_trivially_copyable_v<FileHeader>);
+
+constexpr const char* kKindNames[] = {
+    "unknown",        "arrival",        "pass_begin",   "pass_end",
+    "alloc_attempt",  "alloc_success",  "alloc_fail",   "alloc_fallback",
+    "release",        "complete",       "packet_inject", "packet_deliver",
+    "channel_block",
+};
+constexpr std::size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+void fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+
+}  // namespace
+
+const char* kind_name(TraceKind k) noexcept {
+  const auto i = static_cast<std::uint32_t>(k);
+  return i < kKindCount ? kKindNames[i] : "unknown";
+}
+
+bool kind_from_name(const std::string& name, TraceKind& out) noexcept {
+  for (std::size_t i = 1; i < kKindCount; ++i) {
+    if (name == kKindNames[i]) {
+      out = static_cast<TraceKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void write_binary(const TraceBuffer& buf, std::ostream& out) {
+  FileHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof kMagic);
+  h.version = kVersion;
+  h.record_size = sizeof(TraceRecord);
+  h.count = buf.size();
+  out.write(reinterpret_cast<const char*>(&h), sizeof h);
+  if (!buf.empty())
+    out.write(reinterpret_cast<const char*>(buf.records().data()),
+              static_cast<std::streamsize>(buf.size() * sizeof(TraceRecord)));
+}
+
+bool read_binary(std::istream& in, std::vector<TraceRecord>& out, std::string* error) {
+  FileHeader h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (in.gcount() != sizeof h) {
+    fail(error, "trace: truncated header");
+    return false;
+  }
+  if (std::memcmp(h.magic, kMagic, sizeof kMagic) != 0) {
+    fail(error, "trace: bad magic (not a PSTRACE file)");
+    return false;
+  }
+  if (h.version != kVersion) {
+    fail(error, "trace: unsupported version " + std::to_string(h.version));
+    return false;
+  }
+  if (h.record_size != sizeof(TraceRecord)) {
+    fail(error, "trace: record size mismatch (file " + std::to_string(h.record_size) +
+                    ", expected " + std::to_string(sizeof(TraceRecord)) + ")");
+    return false;
+  }
+  out.resize(h.count);
+  if (h.count != 0) {
+    in.read(reinterpret_cast<char*>(out.data()),
+            static_cast<std::streamsize>(h.count * sizeof(TraceRecord)));
+    if (static_cast<std::uint64_t>(in.gcount()) != h.count * sizeof(TraceRecord)) {
+      fail(error, "trace: truncated payload (header promises " +
+                      std::to_string(h.count) + " records)");
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_jsonl(const std::vector<TraceRecord>& records, std::ostream& out) {
+  char line[512];
+  for (const TraceRecord& r : records) {
+    std::snprintf(line, sizeof line,
+                  "{\"t\":%.17g,\"kind\":\"%s\",\"id\":%" PRIu64
+                  ",\"a\":%" PRIu32 ",\"v\":%.17g,\"v2\":%.17g,"
+                  "\"f\":[%" PRId32 ",%" PRId32 ",%" PRId32 ",%" PRId32 "]}\n",
+                  r.t, kind_name(static_cast<TraceKind>(r.kind)), r.id, r.a, r.v,
+                  r.v2, r.f0, r.f1, r.f2, r.f3);
+    out << line;
+  }
+}
+
+bool read_jsonl(std::istream& in, std::vector<TraceRecord>& out, std::string* error) {
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    TraceRecord r{};
+    char name[32] = {0};
+    // The exact inverse of the write_jsonl format string; %lg parses the
+    // %.17g output losslessly.
+    const int n = std::sscanf(
+        line.c_str(),
+        "{\"t\":%lg,\"kind\":\"%31[^\"]\",\"id\":%" SCNu64 ",\"a\":%" SCNu32
+        ",\"v\":%lg,\"v2\":%lg,\"f\":[%" SCNd32 ",%" SCNd32 ",%" SCNd32
+        ",%" SCNd32 "]}",
+        &r.t, name, &r.id, &r.a, &r.v, &r.v2, &r.f0, &r.f1, &r.f2, &r.f3);
+    TraceKind kind{};
+    if (n != 10 || !kind_from_name(name, kind)) {
+      fail(error, "trace jsonl: malformed record at line " + std::to_string(lineno));
+      return false;
+    }
+    r.kind = static_cast<std::uint32_t>(kind);
+    out.push_back(r);
+  }
+  return true;
+}
+
+void write_chrome_trace(const std::vector<TraceRecord>& records, std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":"
+         "{\"name\":\"procsim\"}},\n"
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":"
+         "{\"name\":\"scheduler\"}}";
+  char line[512];
+  for (const TraceRecord& r : records) {
+    switch (static_cast<TraceKind>(r.kind)) {
+      case TraceKind::kArrival:
+        std::snprintf(line, sizeof line,
+                      ",\n{\"name\":\"arrival\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,"
+                      "\"tid\":0,\"ts\":%.3f,\"args\":{\"job\":%" PRIu64
+                      ",\"w\":%" PRId32 ",\"l\":%" PRId32 ",\"p\":%" PRId32 "}}",
+                      r.t, r.id, r.f0, r.f1, r.f2);
+        break;
+      case TraceKind::kPassBegin:
+        std::snprintf(line, sizeof line,
+                      ",\n{\"name\":\"schedule_pass\",\"ph\":\"B\",\"pid\":1,"
+                      "\"tid\":0,\"ts\":%.3f,\"args\":{\"queued\":%" PRIu32 "}}",
+                      r.t, r.a);
+        break;
+      case TraceKind::kPassEnd:
+        std::snprintf(line, sizeof line,
+                      ",\n{\"name\":\"schedule_pass\",\"ph\":\"E\",\"pid\":1,"
+                      "\"tid\":0,\"ts\":%.3f,\"args\":{\"probes\":%" PRIu32
+                      ",\"nominees\":%" PRId32 ",\"started\":%" PRId32 "}}",
+                      r.t, r.a, r.f0, r.f1);
+        break;
+      case TraceKind::kAllocSuccess:
+        std::snprintf(line, sizeof line,
+                      ",\n{\"name\":\"job %" PRIu64
+                      "\",\"ph\":\"B\",\"pid\":1,\"tid\":%" PRIu64
+                      ",\"ts\":%.3f,\"args\":{\"allocated\":%.17g,\"blocks\":%" PRIu32
+                      ",\"base\":\"%" PRId32 ",%" PRId32 "\",\"shape\":\"%" PRId32
+                      "x%" PRId32 "\"}}",
+                      r.id, r.id + 1, r.t, r.v, r.a, r.f0, r.f1, r.f2, r.f3);
+        break;
+      case TraceKind::kComplete:
+        std::snprintf(line, sizeof line,
+                      ",\n{\"name\":\"job %" PRIu64
+                      "\",\"ph\":\"E\",\"pid\":1,\"tid\":%" PRIu64
+                      ",\"ts\":%.3f,\"args\":{\"turnaround\":%.17g}}",
+                      r.id, r.id + 1, r.t, r.v);
+        break;
+      case TraceKind::kAllocFail:
+        std::snprintf(line, sizeof line,
+                      ",\n{\"name\":\"alloc_fail\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+                      "\"tid\":0,\"ts\":%.3f,\"args\":{\"job\":%" PRIu64
+                      ",\"w\":%" PRId32 ",\"l\":%" PRId32 ",\"p\":%" PRId32 "}}",
+                      r.t, r.id, r.f0, r.f1, r.f2);
+        break;
+      default:
+        continue;  // packet-level kinds: JSONL only (see header)
+    }
+    out << line;
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace procsim::obs

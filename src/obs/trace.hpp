@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace procsim::obs {
+
+/// What one TraceRecord describes. Values are part of the binary trace
+/// format — append new kinds, never renumber.
+enum class TraceKind : std::uint32_t {
+  kArrival = 1,        ///< job entered the queue
+  kPassBegin = 2,      ///< scheduling pass opened
+  kPassEnd = 3,        ///< scheduling pass closed (nominee/probe/start counts)
+  kAllocAttempt = 4,   ///< strategy-level allocate() entry
+  kAllocSuccess = 5,   ///< job placed (first block + block count)
+  kAllocFail = 6,      ///< allocation attempt returned nothing
+  kAllocFallback = 7,  ///< strategy left its contiguous fast path (carve/split)
+  kRelease = 8,        ///< job's processors returned to the free pool
+  kComplete = 9,       ///< job departed
+  kPacketInject = 10,  ///< packet entered the wormhole network
+  kPacketDeliver = 11, ///< packet's last flit drained
+  kChannelBlock = 12,  ///< packet header queued on a busy channel
+};
+
+/// Canonical lower-snake name of a kind ("arrival", "pass_begin", ...);
+/// "unknown" for out-of-range values.
+[[nodiscard]] const char* kind_name(TraceKind k) noexcept;
+
+/// Inverse of kind_name; false when `name` is not a known kind.
+[[nodiscard]] bool kind_from_name(const std::string& name, TraceKind& out) noexcept;
+
+/// One fixed-width trace record. Field semantics per kind (unused fields
+/// stay zero):
+///
+///   kind            id        v            v2       a        f0..f3
+///   arrival         job                                      w, l, p
+///   pass_begin      pass#                          queued
+///   pass_end        pass#                          probes   nominees, started, queued_after
+///   alloc_attempt                                           w, l, p
+///   alloc_success   job       allocated             blocks  base_x, base_y, blk_w, blk_l
+///   alloc_fail      job                                     w, l, p
+///   alloc_fallback                                          w, l, p
+///   release         job       allocated
+///   complete        job       turnaround
+///   packet_inject   tag                                     src, dst
+///   packet_deliver  tag       latency      blocked  hops    src, dst
+///   channel_block   tag                                     channel
+///
+/// Trivially copyable by design: the binary writer emits the records raw
+/// (native endianness, see write_binary).
+struct TraceRecord {
+  double t{0};           ///< sim time of the event
+  double v{0};           ///< kind-specific value (latency, turnaround, ...)
+  double v2{0};          ///< second value (deliver: blocked time)
+  std::uint64_t id{0};   ///< job id / packet tag / pass sequence
+  std::uint32_t kind{0}; ///< TraceKind
+  std::uint32_t a{0};    ///< kind-specific count
+  std::int32_t f0{0}, f1{0}, f2{0}, f3{0};  ///< shape / coordinates
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+static_assert(sizeof(TraceRecord) == 56, "trace format is fixed-width");
+static_assert(std::is_trivially_copyable_v<TraceRecord>);
+
+/// Append-only in-memory record stream — the Recorder's tracing pillar.
+/// Deliberately minimal: a hot-path append must cost one push_back.
+class TraceBuffer {
+ public:
+  void append(const TraceRecord& r) { records_.push_back(r); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Binary trace file: a fixed header (magic "PSTRACE\0", format version,
+/// record size, record count) followed by the raw records. Native
+/// endianness — the trace is a run artifact consumed on the machine that
+/// produced it (trace_convert), not an interchange format; JSONL is.
+void write_binary(const TraceBuffer& buf, std::ostream& out);
+
+/// Reads a write_binary stream back. Returns false (with a message in
+/// `error` when non-null) on a bad magic, version, record size, or a
+/// truncated payload.
+[[nodiscard]] bool read_binary(std::istream& in, std::vector<TraceRecord>& out,
+                               std::string* error = nullptr);
+
+/// One JSON object per record, fixed key order, doubles printed with %.17g
+/// so read_jsonl reproduces every record bit for bit (lossless round-trip;
+/// pinned by test_obs).
+void write_jsonl(const std::vector<TraceRecord>& records, std::ostream& out);
+
+/// Parses write_jsonl output. Returns false (with the offending line number
+/// in `error` when non-null) on any malformed line.
+[[nodiscard]] bool read_jsonl(std::istream& in, std::vector<TraceRecord>& out,
+                              std::string* error = nullptr);
+
+/// Chrome trace_event JSON ("chrome://tracing" / Perfetto loadable): one
+/// B/E duration pair per scheduling pass (tid 0) and per job (tid = job id
+/// + 1, alloc_success -> complete), instants for arrivals and allocation
+/// failures. Sim time maps to microseconds (1 cycle = 1 us). Packet-level
+/// records are deliberately not emitted — a churn run has millions and the
+/// JSONL export carries them; the Chrome view is for queue/job dynamics.
+void write_chrome_trace(const std::vector<TraceRecord>& records, std::ostream& out);
+
+}  // namespace procsim::obs

@@ -130,6 +130,7 @@ std::optional<std::size_t> BackfillScheduler::select_easy(const AllocProbe& prob
   }
   // When even draining every running job cannot seat the head, there is no
   // reservation to protect — plain first-fit backfill applies.
+  if (reachable) first_reservation_.emplace(head.job_id, shadow);
   const std::int64_t extra =
       reachable ? avail - head_need : std::numeric_limits<std::int64_t>::max();
 
@@ -193,6 +194,7 @@ std::optional<std::size_t> BackfillScheduler::select_conservative(
                                    it->blocks.end());
       }
     }
+    if (t > snap.now) first_reservation_.emplace(c.job_id, t);
     profile.reserve(t, c.demand, c.processors);
   }
   return std::nullopt;
@@ -201,6 +203,16 @@ std::optional<std::size_t> BackfillScheduler::select_conservative(
 void BackfillScheduler::on_start(const QueuedJob& job, double now,
                                  std::int64_t allocated,
                                  const std::vector<mesh::SubMesh>& blocks) {
+  const auto res = first_reservation_.find(job.job_id);
+  if (res != first_reservation_.end()) {
+    // The promise was an *estimate*-based instant; a hair of float slack
+    // keeps an exactly-on-time start from counting as broken.
+    if (now <= res->second + 1e-9)
+      ++reservations_honored_;
+    else
+      ++reservations_broken_;
+    first_reservation_.erase(res);
+  }
   const auto it =
       running_.insert(Running{now + job.demand, job.job_id, allocated, blocks});
   slot_.emplace(job.job_id, it);
@@ -220,10 +232,19 @@ std::string BackfillScheduler::name() const {
   return n;
 }
 
+void BackfillScheduler::export_counters(
+    std::vector<std::pair<std::string, std::uint64_t>>& out) const {
+  out.emplace_back("backfill_reservations_honored", reservations_honored_);
+  out.emplace_back("backfill_reservations_broken", reservations_broken_);
+}
+
 void BackfillScheduler::clear() {
   FifoBase::clear();
   running_.clear();
   slot_.clear();
+  first_reservation_.clear();
+  reservations_honored_ = 0;
+  reservations_broken_ = 0;
 }
 
 }  // namespace procsim::sched

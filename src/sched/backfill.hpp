@@ -76,6 +76,14 @@ class BackfillScheduler final : public FifoBase {
   [[nodiscard]] const BackfillOptions& options() const noexcept { return opts_; }
   void clear() override;
 
+  /// Reservation-keeping counters: a job's *first* reservation instant is
+  /// remembered when it is placed, and its eventual start classifies it as
+  /// honored (started no later than promised) or broken (started later —
+  /// possible under EASY, whose single-reservation guarantee does not extend
+  /// to jobs behind the head; conservative breaks none by construction).
+  void export_counters(
+      std::vector<std::pair<std::string, std::uint64_t>>& out) const override;
+
  private:
   struct Running {
     double finish_estimate{0};  ///< start + demand
@@ -101,6 +109,11 @@ class BackfillScheduler final : public FifoBase {
   /// entry for the O(log R) on_complete erase.
   std::multiset<Running> running_;
   std::unordered_map<std::uint64_t, std::multiset<Running>::iterator> slot_;
+
+  /// job_id -> first reserved start instant (see export_counters).
+  std::unordered_map<std::uint64_t, double> first_reservation_;
+  std::uint64_t reservations_honored_{0};
+  std::uint64_t reservations_broken_{0};
 
   // select() scratch (cleared per pass, capacity reused).
   std::vector<mesh::SubMesh> released_scratch_;

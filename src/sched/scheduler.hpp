@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mesh/submesh.hpp"
@@ -119,6 +120,15 @@ class Scheduler {
 
   /// Canonical registry name (round-trips through make_scheduler).
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Appends discipline-specific observability counters as (name, value)
+  /// pairs — consumed by the counter registry at end of run (obs::Counters
+  /// extras). Default: none. Deliberately takes a plain vector so base
+  /// schedulers stay free of any obs dependency.
+  virtual void export_counters(
+      std::vector<std::pair<std::string, std::uint64_t>>& out) const {
+    (void)out;
+  }
 
   /// Empties the queue and any running-set bookkeeping (fresh replication).
   virtual void clear() = 0;
