@@ -13,6 +13,7 @@
 //                          turnaround_p99|turnaround_max|slowdown_p50|
 //                          slowdown_p95|slowdown_p99|slowdown_max|starved]
 //                 [--loads=0.005,0.01,...]
+//                 [--net=stepped|batched|verify|analytic]
 //                 [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]
 //                 [--telemetry=PATH[;dt=X]] [--counters[=PATH]]
 //                 [--trace=PATH] [--job-records=PATH[.jsonl|.csv]]
@@ -57,6 +58,7 @@
 #include "bench_common.hpp"
 #include "core/job_record_store.hpp"
 #include "des/rng.hpp"
+#include "network/wormhole_network.hpp"
 #include "obs/recorder.hpp"
 #include "sched/registry.hpp"
 #include "workload/source_registry.hpp"
@@ -94,6 +96,8 @@ std::optional<mesh::Geometry> parse_mesh(const std::string& s) {
             << "         [--workload=uniform|exponential|real|swf:<path>|saturation|\n"
             << "                    bursty[;key=value...]]\n"
             << "         [--metric=M] [--loads=x[,x...]]\n"
+            << "         [--net=stepped|batched|verify|analytic] (network engine;\n"
+            << "           default: PROCSIM_NET_ENGINE or batched)\n"
             << "         [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]\n"
             << "         [--telemetry=PATH[;dt=X]] [--counters[=PATH]]\n"
             << "         [--trace=PATH] [--job-records=PATH[.jsonl|.csv]]\n"
@@ -125,6 +129,7 @@ int main(int argc, char** argv) {
   std::string workload = "uniform";
   std::string metric = "turnaround";
   std::string loads_arg;
+  std::string net_arg;
   std::string telemetry_path, counters_path, trace_path, job_records_path;
   bool counters_requested = false;
   double telemetry_dt = 100.0;
@@ -145,6 +150,8 @@ int main(int argc, char** argv) {
       metric = value;
     } else if (take_value(argv[i], "--loads=", value)) {
       loads_arg = value;
+    } else if (take_value(argv[i], "--net=", value)) {
+      net_arg = value;
     } else if (take_value(argv[i], "--telemetry=", value)) {
       // PATH[;dt=X] — the sampling interval rides in the same argument so
       // shell quoting stays one token: --telemetry='out.csv;dt=50'.
@@ -247,6 +254,14 @@ int main(int argc, char** argv) {
   }
   if (loads.empty()) usage_error("empty --loads");
 
+  if (!net_arg.empty()) {
+    try {
+      base.sys.net.engine = network::parse_net_engine(net_arg);
+    } catch (const std::exception& e) {
+      usage_error(e.what());
+    }
+  }
+
   // Fail fast on a metric typo — run_grid would otherwise only notice after
   // the first cell's full replicated simulation.
   {
@@ -309,7 +324,7 @@ int main(int argc, char** argv) {
 
   std::cout << "# procsim_sweep: workload=" << workload << " metric=" << metric
             << " st=" << base.sys.net.st << " Plen=" << base.sys.net.packet_len
-            << "\n";
+            << " net=" << network::net_engine_name(base.sys.net.engine) << "\n";
   if (!scaling) {
     // Fig-style layout: rows = loads on the one mesh.
     std::cout << "# mesh=" << mesh_labels[0] << "\n";

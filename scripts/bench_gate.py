@@ -20,6 +20,13 @@ Gated (hard-fail) rows, chosen for signal over CI noise:
                                  budget (the obs::Recorder zero-overhead-off
                                  contract), checked on the current run even
                                  when no baseline exists yet.
+  BENCH_network.json hold[]      engine == batched -> packets_per_sec
+                                 (the production network fast path; the
+                                 stepped-oracle rows are report-only)
+  BENCH_network.json end_to_end[] engine == batched -> packets_per_sec
+  BENCH_network.json speedup.speedup >= 3.0 — an *absolute* floor on the
+                                 128x128 batched/stepped ratio, checked on
+                                 the current run even without a baseline.
 
 A malformed or truncated bench JSON (an interrupted baseline upload, a
 half-written artifact) exits 3 with a one-line ERROR instead of a traceback,
@@ -55,11 +62,16 @@ THRESHOLD_DEFAULT = 0.25
 # "observability" object) — the zero-overhead-off contract, not a ratio
 # against a baseline.
 OVERHEAD_MAX = 0.02
+# Absolute floor on the 128x128 batched/stepped network speedup
+# (BENCH_network.json "speedup" object) — the batched fast path must stay a
+# multiple of the per-hop oracle, not merely not-regress.
+NETWORK_SPEEDUP_MIN = 3.0
 
 GATED_QUERIES = ("first_fit", "largest_free")
 GATED_CHURN = ("FirstFit", "GABL")
 GATED_QUEUE_IMPL = "calendar"
 GATED_E2E_ENGINE = "calendar"
+GATED_NET_ENGINE = "batched"
 
 EXIT_BAD_INPUT = 3
 
@@ -138,6 +150,31 @@ def check_overhead(current_dir):
     return []
 
 
+def check_network_speedup(current_dir):
+    """Absolute batched/stepped speedup floor on the *current* run.
+
+    Baseline-free like check_overhead: a freshly seeded cache must still
+    prove the batched engine is >= NETWORK_SPEEDUP_MIN x the stepped oracle
+    on the 128x128 hold row. Missing file/section passes with a notice.
+    """
+    path = os.path.join(current_dir, "BENCH_network.json")
+    if not os.path.exists(path):
+        print("BENCH_network.json: absent, network speedup floor not checked")
+        return []
+    sp = load(path).get("speedup")
+    if sp is None:
+        print("BENCH_network.json: no speedup section, floor not checked")
+        return []
+    ratio = sp["speedup"]
+    verdict = "ok" if ratio >= NETWORK_SPEEDUP_MIN else "UNDER FLOOR"
+    print(f"  network speedup {sp.get('mesh', '?')}: batched/stepped "
+          f"{ratio:.2f}x (floor {NETWORK_SPEEDUP_MIN:.1f}x) {verdict}")
+    if ratio < NETWORK_SPEEDUP_MIN:
+        return [f"network: 128x128 batched/stepped speedup {ratio:.2f}x is "
+                f"under the absolute {NETWORK_SPEEDUP_MIN:.1f}x floor"]
+    return []
+
+
 def compare(baseline_dir, current_dir, threshold):
     failures = []
     alloc_base = os.path.join(baseline_dir, "BENCH_alloc.json")
@@ -180,6 +217,26 @@ def compare(baseline_dir, current_dir, threshold):
     else:
         print("BENCH_event.json: no baseline yet, seeding")
 
+    net_base = os.path.join(baseline_dir, "BENCH_network.json")
+    net_cur = os.path.join(current_dir, "BENCH_network.json")
+    if os.path.exists(net_base) and os.path.exists(net_cur):
+        base, cur = load(net_base), load(net_cur)
+        if base.get("mode") != cur.get("mode"):
+            print(f"  mode changed ({base.get('mode')} -> {cur.get('mode')}): "
+                  "baseline not comparable, skipped")
+        else:
+            print("BENCH_network.json:")
+            failures += compare_rows(
+                "hold", base["hold"], cur["hold"], ("mesh", "engine"),
+                "packets_per_sec", threshold,
+                gate=lambda key: key[1] == GATED_NET_ENGINE)
+            failures += compare_rows(
+                "net_end_to_end", base["end_to_end"], cur["end_to_end"],
+                ("mesh", "engine"), "packets_per_sec", threshold,
+                gate=lambda key: key[1] == GATED_NET_ENGINE)
+    else:
+        print("BENCH_network.json: no baseline yet, seeding")
+
     workload_base = os.path.join(baseline_dir, "BENCH_workload.json")
     workload_cur = os.path.join(current_dir, "BENCH_workload.json")
     if os.path.exists(workload_base) and os.path.exists(workload_cur):
@@ -203,6 +260,10 @@ SUMMARY_FAMILIES = (
      lambda key: key[1] == GATED_QUEUE_IMPL),
     ("BENCH_event.json", "end_to_end", ("mesh", "allocator", "engine"),
      "events_per_sec", lambda key: key[2] == GATED_E2E_ENGINE),
+    ("BENCH_network.json", "hold", ("mesh", "engine"), "packets_per_sec",
+     lambda key: key[1] == GATED_NET_ENGINE),
+    ("BENCH_network.json", "end_to_end", ("mesh", "engine"),
+     "packets_per_sec", lambda key: key[1] == GATED_NET_ENGINE),
     ("BENCH_workload.json", "sources", ("source",), "jobs_per_sec",
      lambda key: False),
 )
@@ -291,6 +352,30 @@ def self_test():
                           "attached_events_per_sec": 2.87e6,
                           "overhead_frac": 0.01},
     }
+    network_baseline = {
+        "bench": "bench_network",
+        "mode": "fast",
+        "hold": [
+            {"mesh": "32x32", "engine": "stepped", "packets_per_sec": 2e5,
+             "packets": 4000, "events": 100000},
+            {"mesh": "32x32", "engine": "batched", "packets_per_sec": 4.5e5,
+             "packets": 4000, "events": 40000},
+            {"mesh": "128x128", "engine": "stepped", "packets_per_sec": 4.5e4,
+             "packets": 4000, "events": 360000},
+            {"mesh": "128x128", "engine": "batched", "packets_per_sec": 2e5,
+             "packets": 4000, "events": 43000},
+        ],
+        "end_to_end": [
+            {"mesh": "16x22", "engine": "stepped", "packets_per_sec": 3.5e5,
+             "packets": 672, "events": 9500},
+            {"mesh": "16x22", "engine": "batched", "packets_per_sec": 4.5e5,
+             "packets": 672, "events": 4200},
+        ],
+        "speedup": {"mesh": "128x128", "traffic": "all_to_all",
+                    "stepped_packets_per_sec": 4.5e4,
+                    "batched_packets_per_sec": 2e5, "speedup": 4.4},
+        "sink_dispatch": {"fn_pointer_ns": 2.3, "std_function_ns": 2.7},
+    }
     slowed = copy.deepcopy(baseline)
     for row in slowed["queries"]:
         row["index_ops_per_sec"] /= 2.0
@@ -308,13 +393,17 @@ def self_test():
         os.makedirs(base_dir)
         os.makedirs(cur_dir)
 
-        def write(directory, alloc_doc, event_doc):
+        def write(directory, alloc_doc, event_doc, net_doc=None):
             with open(os.path.join(directory, "BENCH_alloc.json"), "w") as f:
                 json.dump(alloc_doc, f)
             with open(os.path.join(directory, "BENCH_event.json"), "w") as f:
                 json.dump(event_doc, f)
+            if net_doc is not None:
+                with open(os.path.join(directory,
+                                       "BENCH_network.json"), "w") as f:
+                    json.dump(net_doc, f)
 
-        write(base_dir, baseline, event_baseline)
+        write(base_dir, baseline, event_baseline, network_baseline)
 
         print("--- self-test: injected 2x slowdown must FAIL the gate")
         write(cur_dir, slowed, event_slowed)
@@ -407,6 +496,64 @@ def self_test():
             return 1
         print("  gate tripped on exactly the calendar rows as expected")
 
+        print("--- self-test: batched-network 2x slowdown must trip exactly "
+              "the new rows")
+        net_slowed = copy.deepcopy(network_baseline)
+        for row in net_slowed["hold"]:
+            if row["engine"] == "batched":
+                row["packets_per_sec"] /= 2.0
+        for row in net_slowed["end_to_end"]:
+            if row["engine"] == "batched":
+                row["packets_per_sec"] /= 2.0
+        write(cur_dir, baseline, event_baseline, net_slowed)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if len(failures) != 3:  # 2 hold rows + 1 end_to_end row
+            print("self-test FAILED: batched network rows did not trip "
+                  f"exactly the three new rows ({len(failures)} failures: "
+                  f"{failures})")
+            return 1
+        if not all("hold" in f or "net_end_to_end" in f for f in failures):
+            print(f"self-test FAILED: unexpected rows tripped: {failures}")
+            return 1
+        print("  gate tripped on exactly the batched network rows as expected")
+
+        print("--- self-test: stepped-oracle-only network slowdown must PASS")
+        net_oracle = copy.deepcopy(network_baseline)
+        for row in net_oracle["hold"]:
+            if row["engine"] == "stepped":
+                row["packets_per_sec"] /= 2.0
+        for row in net_oracle["end_to_end"]:
+            if row["engine"] == "stepped":
+                row["packets_per_sec"] /= 2.0
+        write(cur_dir, baseline, event_baseline, net_oracle)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if failures:
+            print("self-test FAILED: stepped-oracle rows tripped the gate")
+            return 1
+        print("  gate ignored the stepped-oracle rows as expected")
+
+        print("--- self-test: a 3.5x network speedup must PASS the "
+              "absolute floor")
+        write(cur_dir, baseline, event_baseline, network_baseline)
+        fast_net = copy.deepcopy(network_baseline)
+        fast_net["speedup"]["speedup"] = 3.5
+        write(cur_dir, baseline, event_baseline, fast_net)
+        if check_network_speedup(cur_dir):
+            print("self-test FAILED: the floor tripped on a 3.5x speedup")
+            return 1
+        print("  floor passed as expected")
+
+        print("--- self-test: a 2.9x network speedup must FAIL the "
+              "absolute floor")
+        slow_net = copy.deepcopy(network_baseline)
+        slow_net["speedup"]["speedup"] = 2.9
+        write(cur_dir, baseline, event_baseline, slow_net)
+        if not check_network_speedup(cur_dir):
+            print("self-test FAILED: the floor passed a 2.9x speedup")
+            return 1
+        print("  floor tripped as expected")
+        write(cur_dir, baseline, event_baseline, network_baseline)
+
         print("--- self-test: 1% recorder overhead must PASS the absolute budget")
         write(cur_dir, baseline, event_baseline)
         if check_overhead(cur_dir):
@@ -465,8 +612,9 @@ def main():
     if not os.path.isdir(args.baseline):
         if args.summary:
             write_summary(None, args.current, args.summary)
-        # The absolute observability budget has no baseline to wait for.
+        # The absolute budgets have no baseline to wait for.
         failures = check_overhead(args.current)
+        failures += check_network_speedup(args.current)
         if failures:
             print("\nFAIL:")
             for f in failures:
@@ -477,6 +625,7 @@ def main():
 
     failures = compare(args.baseline, args.current, args.threshold)
     failures += check_overhead(args.current)
+    failures += check_network_speedup(args.current)
     if args.summary:
         write_summary(args.baseline, args.current, args.summary)
     if failures:

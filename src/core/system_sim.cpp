@@ -43,7 +43,13 @@ RunMetrics SystemSim::run(workload::Source& source) {
   queue_len_ = stats::TimeWeighted{};
   rng_ = des::Xoshiro256SS{cfg_.seed};
   net_ = std::make_unique<network::WormholeNetwork>(sim_, cfg_.geom, cfg_.net);
-  net_->set_delivery_callback([this](const network::Delivery& d) { on_delivery(d); });
+  // Captureless-lambda-to-function-pointer: the per-delivery dispatch is a
+  // raw call through (fn, ctx), not a type-erased std::function.
+  net_->set_delivery_sink(
+      [](void* ctx, const network::Delivery& d) {
+        static_cast<SystemSim*>(ctx)->on_delivery(d);
+      },
+      this);
   net_->set_recorder(rec_);
 
   source_ = &source;
@@ -79,6 +85,12 @@ RunMetrics SystemSim::run(workload::Source& source) {
     c.index_best_fit_queries += qs.best_fit_queries;
     c.calendar_rebuckets += sim_.queue().rebucket_count();
     c.sim_events += sim_.events_executed();
+    const network::NetStats& ns = net_->stats();
+    c.net_runs_batched += ns.runs_batched;
+    for (std::size_t i = 0; i < 6; ++i)
+      c.net_run_len_hist[i] += ns.run_len_hist[i];
+    c.net_truncations += ns.truncations;
+    c.net_analytic_packets += ns.analytic_packets;
     scheduler_.export_counters(c.extras);
     if (rec_->timers_enabled()) {
       const std::chrono::duration<double> wall =
@@ -223,9 +235,8 @@ void SystemSim::start_job(JobArena::Slot slot, alloc::Placement placement) {
 
   if (traffic.empty()) {
     // Single-processor job (or no messages): nominal local service of one
-    // packet's worth of work.
-    const double nominal =
-        static_cast<double>(1 + cfg_.net.st + cfg_.net.packet_len);
+    // packet's worth of work (a zero-hop traversal).
+    const double nominal = static_cast<double>(net_->base_latency_cycles(0));
     arena_.outstanding(slot) = 0;
     sim_.schedule_in(nominal, [this, slot] { complete_job(slot); });
     return;

@@ -54,6 +54,15 @@ void Counters::write_json(std::ostream& out) const {
   field(out, "index_best_fit_queries", index_best_fit_queries, first);
   field(out, "calendar_rebuckets", calendar_rebuckets, first);
   field(out, "sim_events", sim_events, first);
+  field(out, "net_runs_batched", net_runs_batched, first);
+  field(out, "net_run_len_1", net_run_len_hist[0], first);
+  field(out, "net_run_len_2_3", net_run_len_hist[1], first);
+  field(out, "net_run_len_4_7", net_run_len_hist[2], first);
+  field(out, "net_run_len_8_15", net_run_len_hist[3], first);
+  field(out, "net_run_len_16_31", net_run_len_hist[4], first);
+  field(out, "net_run_len_32_plus", net_run_len_hist[5], first);
+  field(out, "net_truncations", net_truncations, first);
+  field(out, "net_analytic_packets", net_analytic_packets, first);
   out << ",\n  \"extras\": {";
   for (std::size_t i = 0; i < extras.size(); ++i) {
     char line[160];

@@ -42,6 +42,12 @@ struct Counters {
   std::uint64_t index_best_fit_queries{0};
   std::uint64_t calendar_rebuckets{0};     ///< calendar-queue resizes
   std::uint64_t sim_events{0};
+  std::uint64_t net_runs_batched{0};       ///< batched-engine maximal runs started
+  /// Maximal-run lengths (channels acquired per run), buckets
+  /// 1, 2-3, 4-7, 8-15, 16-31, 32+.
+  std::uint64_t net_run_len_hist[6]{};
+  std::uint64_t net_truncations{0};        ///< reservations stolen by earlier attempts
+  std::uint64_t net_analytic_packets{0};   ///< packets served by the analytic mode
 
   /// Named extension counters (e.g. Scheduler::export_counters — backfill
   /// reservations honored/broken) appended in registration order.

@@ -90,7 +90,11 @@ struct Harness {
 
   explicit Harness(Geometry g, NetworkParams p = NetworkParams{3, 8, false})
       : net(sim, g, p) {
-    net.set_delivery_callback([this](const Delivery& d) { deliveries.push_back(d); });
+    net.set_delivery_sink(
+        [](void* ctx, const Delivery& d) {
+          static_cast<Harness*>(ctx)->deliveries.push_back(d);
+        },
+        this);
   }
 };
 

@@ -1,0 +1,373 @@
+// Cross-engine equivalence suite for the wormhole network: the batched
+// hop-run fast path must be bit-identical to the stepped per-hop oracle —
+// per-packet delivery time, latency, blocked time, hop count AND delivery
+// order — across randomized churn, hotspot pileups and adversarial
+// head-of-line patterns. Verify mode (batched primary + stepped shadow in
+// lock-step) must run the same traffic without tripping its cross-checks,
+// and the analytic mode must sit inside its documented tolerance band.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "des/rng.hpp"
+#include "des/simulator.hpp"
+#include "mesh/coord.hpp"
+#include "network/routing.hpp"
+#include "network/wormhole_network.hpp"
+
+namespace {
+
+using procsim::des::Simulator;
+using procsim::des::Xoshiro256SS;
+using procsim::mesh::Coord;
+using procsim::mesh::Geometry;
+using procsim::mesh::NodeId;
+using procsim::network::Delivery;
+using procsim::network::NetEngine;
+using procsim::network::NetworkParams;
+using procsim::network::WormholeNetwork;
+
+/// One injection of a churn schedule: packet `tag` enters at absolute
+/// integer time `t` (integer times on purpose — they collide, exercising
+/// the same-timestamp arbitration that decides FIFO order).
+struct Injection {
+  double t{0};
+  NodeId src{0};
+  NodeId dst{0};
+  std::uint64_t tag{0};
+};
+
+/// Everything an engine may not disagree on, in delivery order.
+struct Record {
+  double time{0};
+  double latency{0};
+  double blocked{0};
+  std::int32_t hops{0};
+  std::uint64_t tag{0};
+  NodeId src{0};
+  NodeId dst{0};
+
+  bool operator==(const Record&) const = default;
+};
+
+struct RunResult {
+  std::vector<Record> deliveries;
+  std::uint64_t truncations{0};
+  std::uint64_t runs_batched{0};
+};
+
+/// Replays one injection schedule on one engine and returns the full
+/// delivery trajectory.
+RunResult run_schedule(const std::vector<Injection>& schedule, Geometry geom,
+                       NetworkParams params) {
+  Simulator sim;
+  WormholeNetwork net(sim, geom, params);
+  struct Ctx {
+    Simulator* sim;
+    std::vector<Record>* out;
+  };
+  std::vector<Record> deliveries;
+  Ctx ctx{&sim, &deliveries};
+  net.set_delivery_sink(
+      [](void* c, const Delivery& d) {
+        auto* x = static_cast<Ctx*>(c);
+        x->out->push_back(Record{x->sim->now(), d.latency, d.blocked, d.hops,
+                                 d.tag, d.src, d.dst});
+      },
+      &ctx);
+  for (const Injection& in : schedule)
+    sim.schedule_at(in.t, [&net, in] { net.inject(in.src, in.dst, in.tag); });
+  sim.run();
+  EXPECT_EQ(net.in_flight(), 0u);
+  RunResult r;
+  r.deliveries = std::move(deliveries);
+  r.truncations = net.stats().truncations;
+  r.runs_batched = net.stats().runs_batched;
+  return r;
+}
+
+/// Stepped vs batched vs verify on the same schedule: all three must
+/// produce the identical delivery trajectory, and verify's internal
+/// lock-step cross-checks must not throw.
+void expect_engines_agree(const std::vector<Injection>& schedule, Geometry geom,
+                          NetworkParams params) {
+  params.engine = NetEngine::kStepped;
+  const RunResult stepped = run_schedule(schedule, geom, params);
+  params.engine = NetEngine::kBatched;
+  const RunResult batched = run_schedule(schedule, geom, params);
+  params.engine = NetEngine::kVerify;
+  const RunResult verify = run_schedule(schedule, geom, params);
+
+  ASSERT_EQ(stepped.deliveries.size(), schedule.size());
+  ASSERT_EQ(stepped.deliveries.size(), batched.deliveries.size());
+  for (std::size_t i = 0; i < stepped.deliveries.size(); ++i) {
+    ASSERT_EQ(stepped.deliveries[i], batched.deliveries[i])
+        << "delivery " << i << " diverged (tag "
+        << stepped.deliveries[i].tag << " vs " << batched.deliveries[i].tag
+        << ")";
+  }
+  ASSERT_EQ(batched.deliveries, verify.deliveries);
+}
+
+std::vector<Injection> uniform_churn(Geometry geom, int count, int span,
+                                     std::uint64_t seed) {
+  Xoshiro256SS rng(seed);
+  const auto nodes = static_cast<std::uint64_t>(geom.nodes());
+  std::vector<Injection> schedule;
+  schedule.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Injection in;
+    in.t = static_cast<double>(rng() % static_cast<std::uint64_t>(span));
+    in.src = static_cast<NodeId>(rng() % nodes);
+    in.dst = static_cast<NodeId>(rng() % nodes);
+    if (in.dst == in.src) in.dst = static_cast<NodeId>((in.dst + 1) % geom.nodes());
+    in.tag = static_cast<std::uint64_t>(i);
+    schedule.push_back(in);
+  }
+  return schedule;
+}
+
+// ------------------------------------------------------- randomized churn
+
+TEST(EngineEquivalence, UniformChurnAcrossParams) {
+  const Geometry geom(8, 8);
+  for (const bool torus : {false, true}) {
+    for (const int plen : {1, 8, 64}) {
+      const auto schedule = uniform_churn(geom, 300, 400, 0xC0FFEE + plen);
+      expect_engines_agree(schedule, geom,
+                           NetworkParams{3, plen, torus, NetEngine::kStepped});
+    }
+  }
+}
+
+TEST(EngineEquivalence, UniformChurnZeroRoutingDelay) {
+  const Geometry geom(8, 8);
+  const auto schedule = uniform_churn(geom, 300, 300, 0xABBA);
+  expect_engines_agree(schedule, geom,
+                       NetworkParams{0, 8, false, NetEngine::kStepped});
+}
+
+TEST(EngineEquivalence, HotspotChurn) {
+  // Everyone hammers one corner: deep FIFOs, long waits, heavy same-time
+  // contention on the final links and the ejection channel.
+  const Geometry geom(8, 8);
+  Xoshiro256SS rng(0x407);
+  const auto nodes = static_cast<std::uint64_t>(geom.nodes());
+  std::vector<Injection> schedule;
+  for (int i = 0; i < 200; ++i) {
+    Injection in;
+    in.t = static_cast<double>(rng() % 64);
+    in.src = static_cast<NodeId>(1 + rng() % (nodes - 1));
+    in.dst = 0;
+    in.tag = static_cast<std::uint64_t>(i);
+    schedule.push_back(in);
+  }
+  for (const int plen : {1, 8, 64})
+    expect_engines_agree(schedule, geom,
+                         NetworkParams{3, plen, false, NetEngine::kStepped});
+}
+
+TEST(EngineEquivalence, AdversarialHeadOfLineTruncatesReservations) {
+  // A long worm launched across a full row reserves its whole free path in
+  // one batched run; cross traffic injected just behind the header attacks
+  // those not-yet-realized reservations with earlier attempt keys. The
+  // batched engine must truncate the run and still match the oracle
+  // delivery-for-delivery.
+  const Geometry geom(16, 4);
+  std::vector<Injection> schedule;
+  std::uint64_t tag = 0;
+  for (int row = 0; row < 4; ++row) {
+    schedule.push_back(
+        {0.0, static_cast<NodeId>(row * 16), static_cast<NodeId>(row * 16 + 15),
+         tag++});
+  }
+  // Crossers start one cycle later from mid-row, east along the same links.
+  for (int row = 0; row < 4; ++row) {
+    for (const int x : {3, 7, 11}) {
+      schedule.push_back({1.0, static_cast<NodeId>(row * 16 + x),
+                          static_cast<NodeId>(row * 16 + 15), tag++});
+    }
+  }
+  NetworkParams p{3, 8, false, NetEngine::kBatched};
+  const RunResult batched = run_schedule(schedule, geom, p);
+  EXPECT_GT(batched.truncations, 0u)
+      << "the adversarial pattern no longer exercises reservation truncation";
+  expect_engines_agree(schedule, geom, p);
+}
+
+// ------------------------------------------------------- FIFO order pins
+
+TEST(EngineEquivalence, WaiterFifoOrderIsInjectionOrder) {
+  // Three same-time injections from one node serialize on the injection
+  // channel: grants must follow inject() call order (seq), not any
+  // engine-internal order — pinned identically on both engines.
+  const Geometry geom(8, 2);
+  std::vector<Injection> schedule;
+  for (std::uint64_t k = 0; k < 3; ++k)
+    schedule.push_back({5.0, 0, static_cast<NodeId>(7), 10 + k});
+  for (const auto engine : {NetEngine::kStepped, NetEngine::kBatched}) {
+    const RunResult r =
+        run_schedule(schedule, geom, NetworkParams{3, 8, false, engine});
+    ASSERT_EQ(r.deliveries.size(), 3u);
+    EXPECT_EQ(r.deliveries[0].tag, 10u);
+    EXPECT_EQ(r.deliveries[1].tag, 11u);
+    EXPECT_EQ(r.deliveries[2].tag, 12u);
+    // Strictly increasing delivery times: one worm at a time per channel.
+    EXPECT_LT(r.deliveries[0].time, r.deliveries[1].time);
+    EXPECT_LT(r.deliveries[1].time, r.deliveries[2].time);
+    EXPECT_DOUBLE_EQ(r.deliveries[0].blocked, 0.0);
+    EXPECT_GT(r.deliveries[1].blocked, 0.0);
+  }
+  expect_engines_agree(schedule, geom, NetworkParams{3, 8, false});
+}
+
+TEST(EngineEquivalence, EarlierAttemptBeatsLaterAtSharedLink) {
+  // Two headers reach a shared link; the one that attempted earlier wins,
+  // the other's blocked time covers exactly the wait — on both engines.
+  const Geometry geom(8, 8);
+  const Geometry& g = geom;
+  std::vector<Injection> schedule;
+  schedule.push_back({0.0, g.id(Coord{0, 2}), g.id(Coord{6, 2}), 1});
+  schedule.push_back({2.0, g.id(Coord{2, 0}), g.id(Coord{2, 6}), 2});
+  expect_engines_agree(schedule, geom, NetworkParams{3, 8, false});
+}
+
+// ------------------------------------------------------- verify lock-step
+
+TEST(VerifyMode, LockStepRunsCleanUnderChurn) {
+  const Geometry geom(8, 8);
+  const auto schedule = uniform_churn(geom, 400, 300, 0x5EED);
+  // run_schedule asserts nothing about verify internals; reaching the end
+  // without a logic_error IS the test — every per-packet delivery and every
+  // per-timestamp channel/FIFO state was cross-checked on the way.
+  const RunResult r =
+      run_schedule(schedule, geom, NetworkParams{3, 8, false, NetEngine::kVerify});
+  EXPECT_EQ(r.deliveries.size(), schedule.size());
+  EXPECT_GT(r.runs_batched, 0u);
+}
+
+// ------------------------------------------------------- analytic band
+
+TEST(AnalyticMode, ContentionFreeMatchesBaseLatencyExactly) {
+  const Geometry geom(16, 22);
+  Simulator sim;
+  WormholeNetwork net(sim, geom, NetworkParams{3, 8, false, NetEngine::kAnalytic});
+  std::vector<Delivery> out;
+  net.set_delivery_sink(
+      [](void* c, const Delivery& d) {
+        static_cast<std::vector<Delivery>*>(c)->push_back(d);
+      },
+      &out);
+  const Geometry& g = geom;
+  net.inject(g.id(Coord{2, 3}), g.id(Coord{9, 10}), 1);
+  sim.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].hops, 14);
+  EXPECT_DOUBLE_EQ(out[0].latency, net.base_latency(14));
+  EXPECT_DOUBLE_EQ(out[0].blocked, 0.0);
+  EXPECT_EQ(net.stats().analytic_packets, 1u);
+}
+
+TEST(AnalyticMode, ChurnLatencyWithinToleranceBand) {
+  // The analytic mode replaces simulated contention with an M/M/1-style
+  // utilization term per path channel. It is tolerance-banded, never
+  // byte-compared: under moderate uniform churn its mean latency must land
+  // within a factor of 3 of the simulated (batched) mean, and at least the
+  // contention-free mean. The injections start past t=0 because the
+  // utilization estimate (busy cycles / elapsed time) is deliberately crude
+  // in the cold-start window. The band is documented in README.md — widen
+  // it there first if the model legitimately changes.
+  const Geometry geom(8, 8);
+  auto schedule = uniform_churn(geom, 400, 2000, 0xA11);
+  for (Injection& in : schedule) in.t += 500.0;
+
+  const auto mean_latency = [&](NetEngine engine) {
+    const RunResult r =
+        run_schedule(schedule, geom, NetworkParams{3, 8, false, engine});
+    double sum = 0;
+    for (const Record& d : r.deliveries) sum += d.latency;
+    return sum / static_cast<double>(r.deliveries.size());
+  };
+  const double simulated = mean_latency(NetEngine::kBatched);
+  const double analytic = mean_latency(NetEngine::kAnalytic);
+
+  // Contention-free lower bound: every analytic latency >= base latency.
+  Simulator sim;
+  WormholeNetwork probe(sim, geom, NetworkParams{3, 8, false});
+  double base_sum = 0;
+  for (const Injection& in : schedule)
+    base_sum += probe.base_latency(probe.channels().hop_count(in.src, in.dst));
+  const double base_mean = base_sum / static_cast<double>(schedule.size());
+
+  EXPECT_GE(analytic, base_mean);
+  EXPECT_GE(analytic, simulated / 3.0);
+  EXPECT_LE(analytic, simulated * 3.0);
+}
+
+// ------------------------------------------------- integer-cycle helper
+
+TEST(CycleArithmetic, BaseLatencyIsExactIntegerAtExtremes) {
+  const Geometry geom(8, 8);
+  Simulator sim;
+  {
+    WormholeNetwork net(sim, geom, NetworkParams{0, 1, false});
+    // st=0, P_len=1: (h+1)*1 + 1 — the degenerate minimum everywhere.
+    EXPECT_EQ(net.base_latency_cycles(0), 2);
+    EXPECT_EQ(net.base_latency_cycles(14), 16);
+    EXPECT_DOUBLE_EQ(net.base_latency(14), 16.0);
+    EXPECT_EQ(net.channel_hold_cycles(), 2);
+  }
+  {
+    // Large st and P_len: the product stays in int64, no double rounding.
+    WormholeNetwork net(sim, geom, NetworkParams{1'000'000, 1'000'000, false});
+    EXPECT_EQ(net.base_latency_cycles(1000), 1001LL * 1'000'001LL + 1'000'000LL);
+    EXPECT_EQ(net.channel_hold_cycles(),
+              1'000'000LL * 1'000'001LL + 1);
+  }
+}
+
+TEST(CycleArithmetic, DegenerateParamsDeliverExactly) {
+  // st=0 and P_len=1 end-to-end: every grant, slide and drain lands on an
+  // exact integer cycle; the delivered latency must hit the closed form.
+  const Geometry geom(8, 8);
+  const Geometry& g = geom;
+  std::vector<Injection> schedule;
+  schedule.push_back({0.0, g.id(Coord{0, 0}), g.id(Coord{7, 7}), 1});
+  for (const auto engine : {NetEngine::kStepped, NetEngine::kBatched}) {
+    const RunResult r =
+        run_schedule(schedule, geom, NetworkParams{0, 1, false, engine});
+    ASSERT_EQ(r.deliveries.size(), 1u);
+    EXPECT_EQ(r.deliveries[0].hops, 14);
+    EXPECT_DOUBLE_EQ(r.deliveries[0].latency, 16.0);
+    EXPECT_DOUBLE_EQ(r.deliveries[0].time, 16.0);
+  }
+  expect_engines_agree(schedule, geom, NetworkParams{0, 1, false});
+}
+
+// ------------------------------------------------------- engine registry
+
+TEST(EngineRegistry, ParseAndNameRoundTrip) {
+  using procsim::network::net_engine_name;
+  using procsim::network::parse_net_engine;
+  for (const auto engine : {NetEngine::kStepped, NetEngine::kBatched,
+                            NetEngine::kVerify, NetEngine::kAnalytic}) {
+    EXPECT_EQ(parse_net_engine(net_engine_name(engine)), engine);
+  }
+  EXPECT_THROW((void)parse_net_engine("flooded"), std::invalid_argument);
+}
+
+TEST(EngineRegistry, BatchedRunsAreCounted) {
+  const Geometry geom(8, 8);
+  const auto schedule = uniform_churn(geom, 50, 200, 0x11);
+  const RunResult r =
+      run_schedule(schedule, geom, NetworkParams{3, 8, false, NetEngine::kBatched});
+  EXPECT_GT(r.runs_batched, 0u);
+  const RunResult s =
+      run_schedule(schedule, geom, NetworkParams{3, 8, false, NetEngine::kStepped});
+  EXPECT_EQ(s.runs_batched, 0u);
+}
+
+}  // namespace

@@ -203,6 +203,43 @@ TEST(SystemSim, DeterministicAcrossRuns) {
   EXPECT_EQ(m1.events, m2.events);
 }
 
+TEST(SystemSim, NetEngineSelectionPreservesTrajectory) {
+  // SystemConfig::net.engine swaps the wormhole engine per run; the batched
+  // fast path and verify's lock-step shadow must leave every model-visible
+  // metric identical to the stepped oracle. Only the DES event count (and
+  // wall time) may differ — fewer events per packet is the whole point of
+  // batching — so RunMetrics::events is deliberately not compared.
+  SystemConfig cfg;
+  cfg.geom = Geometry(8, 8);
+  cfg.target_completions = 50;
+  std::vector<Job> jobs;
+  procsim::des::Xoshiro256SS rng(7);
+  procsim::workload::StochasticParams params;
+  params.load = 0.05;
+  jobs = procsim::workload::generate_stochastic(params, cfg.geom, 50, rng);
+
+  auto run_with = [&](procsim::network::NetEngine engine) {
+    SystemConfig c = cfg;
+    c.net.engine = engine;
+    GablAllocator alloc(c.geom);
+    OrderedScheduler sched(Policy::kSsd);
+    return SystemSim(c, alloc, sched).run(jobs);
+  };
+  const RunMetrics stepped = run_with(procsim::network::NetEngine::kStepped);
+  const RunMetrics batched = run_with(procsim::network::NetEngine::kBatched);
+  const RunMetrics verify = run_with(procsim::network::NetEngine::kVerify);
+
+  for (const RunMetrics* m : {&batched, &verify}) {
+    EXPECT_DOUBLE_EQ(m->turnaround.mean(), stepped.turnaround.mean());
+    EXPECT_DOUBLE_EQ(m->service.mean(), stepped.service.mean());
+    EXPECT_DOUBLE_EQ(m->packet_latency.mean(), stepped.packet_latency.mean());
+    EXPECT_DOUBLE_EQ(m->packet_blocking.mean(), stepped.packet_blocking.mean());
+    EXPECT_DOUBLE_EQ(m->makespan, stepped.makespan);
+    EXPECT_EQ(m->packets, stepped.packets);
+    EXPECT_EQ(m->completed, stepped.completed);
+  }
+}
+
 TEST(SystemSim, RunIsRepeatableOnSameInstance) {
   SystemConfig cfg;
   cfg.geom = Geometry(4, 4);
