@@ -21,11 +21,9 @@ int main(int argc, char** argv) {
     spec.loads = bench::loads_uniform();
     spec.base = bench::stochastic_base(workload::SideDistribution::kUniform);
 
-    for (const auto kind :
-         {core::AllocatorKind::kGabl, core::AllocatorKind::kRandom,
-          core::AllocatorKind::kFirstFit, core::AllocatorKind::kBestFit}) {
+    for (const char* name : {"GABL", "Random", "FirstFit", "BestFit"}) {
       core::Series s;
-      s.allocator = core::AllocatorSpec{kind, 0, mesh::PageIndexing::kRowMajor};
+      s.allocator = core::AllocatorSpec{name};
       s.scheduler = sched::Policy::kFcfs;
       spec.series.push_back(s);
     }

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
        {mesh::PageIndexing::kRowMajor, mesh::PageIndexing::kSnake,
         mesh::PageIndexing::kShuffledRowMajor, mesh::PageIndexing::kShuffledSnake}) {
     core::Series s;
-    s.allocator = core::AllocatorSpec{core::AllocatorKind::kPaging, 0, indexing};
+    s.allocator = core::AllocatorSpec{"Paging(0)"};
+    s.allocator.paging_indexing = indexing;
     s.scheduler = sched::Policy::kFcfs;
     spec.series.push_back(s);
   }

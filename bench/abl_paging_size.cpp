@@ -19,8 +19,7 @@ int main(int argc, char** argv) {
 
   for (const std::int32_t k : {0, 1, 2, 3}) {
     core::Series s;
-    s.allocator = core::AllocatorSpec{core::AllocatorKind::kPaging, k,
-                                      mesh::PageIndexing::kRowMajor};
+    s.allocator = core::AllocatorSpec{"Paging(" + std::to_string(k) + ")"};
     s.scheduler = sched::Policy::kFcfs;
     spec.series.push_back(s);
   }

@@ -1,0 +1,110 @@
+// bench_cluster: fleet dispatch throughput per load-balancing policy on a
+// 4x(64x64) cluster — the cluster::ClusterSim hot path (dispatch decision +
+// per-mesh simulation under the shared clock), in completed jobs and
+// simulator events per wall-clock second. Emitted as machine-readable JSON
+// (default BENCH_cluster.json) so the perf trajectory across PRs is
+// measurable in CI: bench_gate.py gates the deterministic round_robin and
+// shortest_queue rows (snapshot/RNG policies ride along report-only).
+//
+//   bench_cluster [--fast] [--out=BENCH_cluster.json]
+//
+// --fast    fewer jobs (CI smoke)
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace procsim;
+using Clock = std::chrono::steady_clock;
+
+struct DispatchRow {
+  std::string cluster;
+  std::string policy;
+  double jobs_per_sec{0};
+  double events_per_sec{0};
+  std::uint64_t jobs{0};
+  std::uint64_t events{0};
+};
+
+DispatchRow run_policy(const std::string& policy, std::size_t jobs) {
+  const std::string spec_str = "4x(64x64);balance=" + policy + ";stale=10";
+  core::ExperimentConfig cfg;
+  cfg.cluster = cluster::parse_cluster_spec(spec_str);
+  if (!cfg.cluster) throw std::invalid_argument("bad spec " + spec_str);
+  cfg.sys.geom = cfg.cluster->meshes.front().geom;
+  cfg.sys.think_time = 50;
+  cfg.sys.target_completions = 0;  // drain the whole stream
+  cfg.workload.kind = core::WorkloadKind::kStochastic;
+  cfg.workload.job_count = jobs;
+  cfg.workload.stochastic.load = 0.02;  // per-mesh offered load
+  cfg.seed = 42;
+
+  const auto t0 = Clock::now();
+  const core::RunMetrics m = core::run_probed(cfg, nullptr, nullptr);
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  DispatchRow row;
+  row.cluster = cfg.cluster->canonical;
+  row.policy = policy;
+  row.jobs = m.completed;
+  row.events = m.events;
+  row.jobs_per_sec = wall > 0 ? static_cast<double>(m.completed) / wall : 0;
+  row.events_per_sec = wall > 0 ? static_cast<double>(m.events) / wall : 0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  std::string out_path = "BENCH_cluster.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::cerr << "bench_cluster: unknown flag " << argv[i] << "\n"
+                << "usage: bench_cluster [--fast] [--out=BENCH_cluster.json]\n";
+      return 2;
+    }
+  }
+  const std::size_t jobs = fast ? 1500 : 8000;
+
+  std::vector<DispatchRow> rows;
+  for (const std::string& policy : cluster::known_dispatchers()) {
+    rows.push_back(run_policy(policy, jobs));
+    const DispatchRow& r = rows.back();
+    std::cerr << "  " << r.cluster << " " << r.policy << ": " << r.jobs
+              << " jobs, " << static_cast<std::uint64_t>(r.jobs_per_sec)
+              << " jobs/s, " << static_cast<std::uint64_t>(r.events_per_sec)
+              << " events/s\n";
+  }
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench_cluster: cannot write " << out_path << "\n";
+    return 3;
+  }
+  out << "{\n  \"bench\": \"bench_cluster\",\n  \"mode\": \""
+      << (fast ? "fast" : "full") << "\",\n  \"dispatch\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DispatchRow& r = rows[i];
+    out << "    {\"cluster\": \"" << r.cluster << "\", \"policy\": \""
+        << r.policy << "\", \"jobs_per_sec\": " << r.jobs_per_sec
+        << ", \"events_per_sec\": " << r.events_per_sec
+        << ", \"jobs\": " << r.jobs << ", \"events\": " << r.events << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "bench_cluster: wrote " << out_path << "\n";
+  return 0;
+}

@@ -16,11 +16,10 @@ namespace {
 
 using namespace procsim;
 
-void churn(benchmark::State& state, core::AllocatorKind kind, std::int32_t w,
+void churn(benchmark::State& state, const char* name, std::int32_t w,
            std::int32_t l) {
   const mesh::Geometry geom(w, l);
-  core::AllocatorSpec spec;
-  spec.kind = kind;
+  const core::AllocatorSpec spec{name};
   const auto alloc = core::make_allocator(spec, geom, 1);
   des::Xoshiro256SS rng(99);
 
@@ -47,12 +46,12 @@ void churn(benchmark::State& state, core::AllocatorKind kind, std::int32_t w,
 
 }  // namespace
 
-BENCHMARK_CAPTURE(churn, GABL_16x22, core::AllocatorKind::kGabl, 16, 22);
-BENCHMARK_CAPTURE(churn, Paging0_16x22, core::AllocatorKind::kPaging, 16, 22);
-BENCHMARK_CAPTURE(churn, MBS_16x22, core::AllocatorKind::kMbs, 16, 22);
-BENCHMARK_CAPTURE(churn, FirstFit_16x22, core::AllocatorKind::kFirstFit, 16, 22);
-BENCHMARK_CAPTURE(churn, BestFit_16x22, core::AllocatorKind::kBestFit, 16, 22);
-BENCHMARK_CAPTURE(churn, Random_16x22, core::AllocatorKind::kRandom, 16, 22);
-BENCHMARK_CAPTURE(churn, GABL_32x44, core::AllocatorKind::kGabl, 32, 44);
-BENCHMARK_CAPTURE(churn, Paging0_32x44, core::AllocatorKind::kPaging, 32, 44);
-BENCHMARK_CAPTURE(churn, MBS_32x44, core::AllocatorKind::kMbs, 32, 44);
+BENCHMARK_CAPTURE(churn, GABL_16x22, "GABL", 16, 22);
+BENCHMARK_CAPTURE(churn, Paging0_16x22, "Paging(0)", 16, 22);
+BENCHMARK_CAPTURE(churn, MBS_16x22, "MBS", 16, 22);
+BENCHMARK_CAPTURE(churn, FirstFit_16x22, "FirstFit", 16, 22);
+BENCHMARK_CAPTURE(churn, BestFit_16x22, "BestFit", 16, 22);
+BENCHMARK_CAPTURE(churn, Random_16x22, "Random", 16, 22);
+BENCHMARK_CAPTURE(churn, GABL_32x44, "GABL", 32, 44);
+BENCHMARK_CAPTURE(churn, Paging0_32x44, "Paging(0)", 32, 44);
+BENCHMARK_CAPTURE(churn, MBS_32x44, "MBS", 32, 44);

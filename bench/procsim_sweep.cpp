@@ -3,6 +3,8 @@
 // metric — the scenarios the hardcoded figure binaries cannot express.
 //
 //   procsim_sweep [--mesh=16x22[,32x32,...]] [--alloc=GABL,Paging(0),MBS]
+//                 [--cluster='N"x("WxL[:ALLOC]")"[+...][;balance=P][;stale=T]
+//                            [;migrate=steal][;lat=X]']
 //                 [--sched=FCFS,SSD,SJF,LJF,lookahead:k,
 //                         backfill[:conservative][;shape]]
 //                 [--workload=uniform|exponential|real|swf:<path>|saturation|
@@ -11,12 +13,20 @@
 //                          hops|queue_length|wait_mean|wait_p50|wait_p95|
 //                          wait_p99|wait_max|turnaround_p50|turnaround_p95|
 //                          turnaround_p99|turnaround_max|slowdown_p50|
-//                          slowdown_p95|slowdown_p99|slowdown_max|starved]
+//                          slowdown_p95|slowdown_p99|slowdown_max|starved|
+//                          util_spread|util_min|util_max|util_stddev|
+//                          migrations|migration_latency|stale_errors]
 //                 [--loads=0.005,0.01,...]
 //                 [--net=stepped|batched|verify|analytic]
 //                 [--fast] [--jobs=N] [--reps=N] [--seed=N] [--threads=N]
 //                 [--telemetry=PATH[;dt=X]] [--counters[=PATH]]
 //                 [--trace=PATH] [--job-records=PATH[.jsonl|.csv]]
+//
+// --cluster runs every cell as a cluster::ClusterSim fleet (N meshes, one
+// event clock, a pluggable dispatcher — see README "Cluster"); the cluster
+// metrics (util_spread & co.) are only non-zero there. `--loads` stays the
+// PER-MESH offered load. --cluster conflicts with --mesh and with the
+// single-mesh observability flags; conflicts are rejected up front.
 //
 // The observability flags run ONE extra instrumented replication of the
 // grid's first cell (same seed substream as that cell's first replication)
@@ -54,13 +64,13 @@
 #include <string>
 #include <vector>
 
-#include "alloc/registry.hpp"
 #include "bench_common.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "core/experiment_spec.hpp"
 #include "core/job_record_store.hpp"
 #include "des/rng.hpp"
 #include "network/wormhole_network.hpp"
 #include "obs/recorder.hpp"
-#include "sched/registry.hpp"
 #include "workload/source_registry.hpp"
 
 namespace {
@@ -76,20 +86,14 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-std::optional<mesh::Geometry> parse_mesh(const std::string& s) {
-  const auto x = s.find_first_of("xX");
-  if (x == std::string::npos || x == 0 || x + 1 >= s.size()) return std::nullopt;
-  char* end = nullptr;
-  const long w = std::strtol(s.c_str(), &end, 10);
-  if (end != s.c_str() + x) return std::nullopt;
-  const long l = std::strtol(s.c_str() + x + 1, &end, 10);
-  if (*end != '\0' || w <= 0 || l <= 0 || w > 4096 || l > 4096) return std::nullopt;
-  return mesh::Geometry(static_cast<std::int32_t>(w), static_cast<std::int32_t>(l));
-}
-
 [[noreturn]] void usage_error(const std::string& msg) {
   std::cerr << "procsim_sweep: " << msg << "\n"
             << "usage: procsim_sweep [--mesh=WxL[,WxL...]] (W,L in 1..4096)\n"
+            << "         [--cluster=SPEC]  (fleet of meshes; SPEC grammar:\n"
+            << "           N\"x(\"WxL[:ALLOC]\")\" [+group...] [;balance=P]\n"
+            << "           [;stale=T] [;migrate=steal] [;lat=X], policies P:\n"
+            << "           " << cluster::known_dispatcher_list() << ";\n"
+            << "           conflicts with --mesh and the observability flags)\n"
             << "         [--alloc=A[,A...]]\n"
             << "         [--sched=S[,S...]]\n"
             << "           (FCFS|SSD|SJF|LJF|lookahead:k|backfill[:conservative][;shape])\n"
@@ -124,6 +128,8 @@ bool take_value(const char* arg, const char* key, std::string& out) {
 
 int main(int argc, char** argv) {
   std::string mesh_arg = "16x22";
+  bool mesh_given = false;
+  std::string cluster_arg;
   std::string alloc_arg = "GABL,Paging(0),MBS";
   std::string sched_arg = "FCFS,SSD";
   std::string workload = "uniform";
@@ -140,6 +146,10 @@ int main(int argc, char** argv) {
     std::string value;
     if (take_value(argv[i], "--mesh=", value)) {
       mesh_arg = value;
+      mesh_given = true;
+    } else if (take_value(argv[i], "--cluster=", value)) {
+      cluster_arg = value;
+      if (cluster_arg.empty()) usage_error("empty --cluster");
     } else if (take_value(argv[i], "--alloc=", value)) {
       alloc_arg = value;
     } else if (take_value(argv[i], "--sched=", value)) {
@@ -183,10 +193,23 @@ int main(int argc, char** argv) {
   const core::RunOptions opts =
       core::parse_run_options(static_cast<int>(passthrough.size()), passthrough.data());
 
+  // --cluster conflict audit, before any parsing spends work. The
+  // observability flags attach a single-mesh recorder/record-store to ONE
+  // SystemSim run; a fleet has N of them, so the combination is rejected
+  // rather than silently instrumenting only one member.
+  const bool cluster_mode = !cluster_arg.empty();
+  if (cluster_mode && mesh_given)
+    usage_error("--cluster and --mesh are mutually exclusive "
+                "(the cluster spec fixes every mesh geometry)");
+  if (cluster_mode && (!telemetry_path.empty() || counters_requested ||
+                       !trace_path.empty() || !job_records_path.empty()))
+    usage_error("--telemetry/--counters/--trace/--job-records are "
+                "single-mesh-only; drop them or drop --cluster");
+
   std::vector<mesh::Geometry> meshes;
   std::vector<std::string> mesh_labels;
   for (const std::string& ms : split_csv(mesh_arg)) {
-    const auto geom = parse_mesh(ms);
+    const auto geom = core::parse_mesh_geometry(ms);
     if (!geom) usage_error("bad mesh '" + ms + "' (expected WxL)");
     meshes.push_back(*geom);
     mesh_labels.push_back(std::to_string(geom->width()) + "x" +
@@ -196,49 +219,60 @@ int main(int argc, char** argv) {
 
   // Workload family template and its default load axis: the three figure
   // families keep their bench_common templates (and their exact CSV bytes);
-  // anything else is a workload::make_source registry spec.
+  // anything else is a workload::make_source registry spec. Template choice
+  // is driver policy; the axis itself is validated and applied below through
+  // core::apply_experiment_spec, the shared fail-fast entry point.
+  const auto wspec = workload::parse_source_spec(workload);
   core::ExperimentConfig base;
   std::vector<double> loads;
   bool saturation = false;
-  if (workload == "uniform") {
-    base = bench::stochastic_base(workload::SideDistribution::kUniform);
-    loads = bench::loads_uniform();
-  } else if (workload == "exponential") {
-    base = bench::stochastic_base(workload::SideDistribution::kExponential);
-    loads = bench::loads_exponential();
-  } else if (workload == "real") {
-    base = bench::trace_base();
-    loads = bench::loads_real();
+  const bool bare_family =
+      wspec && wspec->arg.empty() && wspec->params.empty() &&
+      (wspec->kind == "uniform" || wspec->kind == "exponential" ||
+       wspec->kind == "real");
+  if (bare_family) {
+    if (wspec->kind == "uniform") {
+      base = bench::stochastic_base(workload::SideDistribution::kUniform);
+      loads = bench::loads_uniform();
+    } else if (wspec->kind == "exponential") {
+      base = bench::stochastic_base(workload::SideDistribution::kExponential);
+      loads = bench::loads_exponential();
+    } else {
+      base = bench::trace_base();
+      loads = bench::loads_real();
+    }
   } else {
-    const auto spec = workload::parse_source_spec(workload);
-    if (!spec) usage_error("unknown workload '" + workload + "'");
     base = bench::base_config();
-    base.workload.source_spec = workload;
-    // No stream-length override: the registry defaults apply (trace kinds
-    // replay the *whole* file, not the first WorkloadSpec.job_count records).
-    // --jobs / --fast still cap it through apply_effort.
-    base.workload.job_count = 0;
-    if (spec->kind == "swf") {
+    if (wspec && wspec->kind == "swf") {
       base.sys.target_completions = 600;  // the trace_base effort default
       loads = bench::loads_real();
-    } else if (spec->kind == "saturation") {
-      // The utilization-figure setup: a 3x backlog, warmup skipping the
-      // cold-start fill (bench_common::saturated), one row — there is no
-      // load axis when every job is already waiting at t = 0.
+    } else if (wspec && wspec->kind == "saturation") {
       saturation = true;
-      base.workload.job_count = 3 * base.sys.target_completions;
-      base.sys.warmup_completions = base.sys.target_completions / 10;
       loads = {1.0};
     } else {
       loads = bench::loads_uniform();
     }
-    // Fail fast on bad option keys / unreadable SWF files before any cell
-    // spends a replicated simulation on them.
+  }
+
+  // The grid-wide axes — workload, net engine, cluster — through the single
+  // fail-fast entry point (unknown names exit listing the known kinds).
+  {
+    core::ExperimentSpecStrings axes;
+    axes.workload = workload;
+    axes.net = net_arg;
+    axes.cluster = cluster_arg;
     try {
-      (void)workload::make_source(workload, meshes[0]);
+      core::apply_experiment_spec(axes, base);
     } catch (const std::exception& e) {
       usage_error(e.what());
     }
+  }
+  if (saturation) {
+    // The utilization-figure setup: a 3x backlog, warmup skipping the
+    // cold-start fill (bench_common::saturated), one row — there is no
+    // load axis when every job is already waiting at t = 0.
+    base.workload.job_count = 3 * base.sys.target_completions;
+    base.sys.warmup_completions = base.sys.target_completions / 10;
   }
   if (!loads_arg.empty()) {
     // Saturation has no load axis: every job is already waiting at t = 0, so
@@ -254,14 +288,6 @@ int main(int argc, char** argv) {
   }
   if (loads.empty()) usage_error("empty --loads");
 
-  if (!net_arg.empty()) {
-    try {
-      base.sys.net.engine = network::parse_net_engine(net_arg);
-    } catch (const std::exception& e) {
-      usage_error(e.what());
-    }
-  }
-
   // Fail fast on a metric typo — run_grid would otherwise only notice after
   // the first cell's full replicated simulation.
   {
@@ -276,8 +302,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Strategy pairs, resolved through the registries so misspellings fail
-  // fast with the known-name list.
+  // Strategy pairs, through the same fail-fast entry point (misspellings
+  // exit with the registry's known-name list). In cluster mode the --alloc
+  // axis is the fleet's DEFAULT allocator — meshes whose spec group names
+  // its own (e.g. "2x(16x16:MBS)") keep that one.
   struct SweepSeries {
     core::AllocatorSpec alloc;
     sched::SchedSpec sched;
@@ -289,17 +317,18 @@ int main(int argc, char** argv) {
   if (alloc_names.empty() || sched_names.empty())
     usage_error("need at least one allocator and one scheduler");
   for (const std::string& sn : sched_names) {
-    const auto sspec = sched::parse_sched_spec(sn);
-    if (!sspec)
-      usage_error("unknown scheduler '" + sn +
-                  "' (known: " + sched::known_scheduler_list() + ")");
     for (const std::string& an : alloc_names) {
-      const auto spec = core::parse_allocator_spec(an);
-      if (!spec) usage_error("unknown allocator '" + an + "'");
       core::ExperimentConfig labelled = base;
-      labelled.allocator = *spec;
-      labelled.scheduler = *sspec;
-      series.push_back(SweepSeries{*spec, *sspec, labelled.series_label()});
+      core::ExperimentSpecStrings axes;
+      axes.alloc = an;
+      axes.sched = sn;
+      try {
+        core::apply_experiment_spec(axes, labelled);
+      } catch (const std::exception& e) {
+        usage_error(e.what());
+      }
+      series.push_back(
+          SweepSeries{labelled.allocator, labelled.scheduler, labelled.series_label()});
     }
   }
 
@@ -309,12 +338,13 @@ int main(int argc, char** argv) {
   for (const SweepSeries& s : series) grid.cols.push_back(s.label);
 
   // Both layouts share one cell builder; only what the row axis selects —
-  // the load or the mesh — differs.
-  const bool scaling = meshes.size() > 1;
+  // the load or the mesh — differs. In cluster mode the spec fixes every
+  // geometry, so the cell keeps base's (the fleet's first mesh).
+  const bool scaling = !cluster_mode && meshes.size() > 1;
   const auto make_cell = [&](const mesh::Geometry& geom, double load,
                              const SweepSeries& s) {
     core::ExperimentConfig cfg = base;
-    cfg.sys.geom = geom;
+    if (!cluster_mode) cfg.sys.geom = geom;
     cfg.allocator = s.alloc;
     cfg.scheduler = s.sched;
     core::set_offered_load(cfg, load);
@@ -326,8 +356,12 @@ int main(int argc, char** argv) {
             << " st=" << base.sys.net.st << " Plen=" << base.sys.net.packet_len
             << " net=" << network::net_engine_name(base.sys.net.engine) << "\n";
   if (!scaling) {
-    // Fig-style layout: rows = loads on the one mesh.
-    std::cout << "# mesh=" << mesh_labels[0] << "\n";
+    // Fig-style layout: rows = loads on the one mesh (or the one fleet;
+    // loads stay per-mesh offered load there).
+    if (cluster_mode)
+      std::cout << "# cluster=" << base.cluster->canonical << "\n";
+    else
+      std::cout << "# mesh=" << mesh_labels[0] << "\n";
     grid.corner = "load";
     for (const double load : loads) {
       std::ostringstream label;

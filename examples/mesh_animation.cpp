@@ -52,12 +52,11 @@ void print_frame(const alloc::Allocator& allocator,
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::AllocatorSpec spec;
-  spec.kind = core::AllocatorKind::kGabl;
+  core::AllocatorSpec spec;  // defaults to GABL
   if (argc > 1) {
-    if (std::strcmp(argv[1], "paging") == 0) spec.kind = core::AllocatorKind::kPaging;
-    if (std::strcmp(argv[1], "mbs") == 0) spec.kind = core::AllocatorKind::kMbs;
-    if (std::strcmp(argv[1], "random") == 0) spec.kind = core::AllocatorKind::kRandom;
+    if (std::strcmp(argv[1], "paging") == 0) spec = core::AllocatorSpec{"Paging(0)"};
+    if (std::strcmp(argv[1], "mbs") == 0) spec = core::AllocatorSpec{"MBS"};
+    if (std::strcmp(argv[1], "random") == 0) spec = core::AllocatorSpec{"Random"};
   }
   const int frames = argc > 2 ? std::atoi(argv[2]) : 6;
 

@@ -28,8 +28,8 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/experiment_spec.hpp"
 #include "core/figure_runner.hpp"
-#include "sched/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace procsim;
@@ -44,21 +44,14 @@ int main(int argc, char** argv) {
     else
       passthrough.push_back(argv[i]);
   }
-  std::vector<sched::SchedSpec> policies;
+  std::vector<std::string> sched_names;
   {
     std::istringstream in(sched_arg);
     std::string token;
-    while (std::getline(in, token, ',')) {
-      if (token.empty()) continue;
-      const auto spec = sched::parse_sched_spec(token);
-      if (!spec) {
-        std::fprintf(stderr, "unknown scheduler %s\n", token.c_str());
-        return 1;
-      }
-      policies.push_back(*spec);
-    }
+    while (std::getline(in, token, ','))
+      if (!token.empty()) sched_names.push_back(token);
   }
-  if (policies.empty()) {
+  if (sched_names.empty()) {
     std::fprintf(stderr, "--sched needs at least one policy\n");
     return 1;
   }
@@ -72,9 +65,22 @@ int main(int argc, char** argv) {
   cfg.workload.kind = core::WorkloadKind::kStochastic;
   cfg.workload.job_count = cfg.sys.target_completions;
   cfg.workload.stochastic.load = 0.02;
-  cfg.workload.source_spec = workload_spec;
   cfg.workload.load = 0.02;
   cfg.seed = opts.seed;
+  if (!workload_spec.empty()) {
+    // Through the shared fail-fast entry point (unknown kinds exit listing
+    // the known ones); the driver's job cap survives a registry spec.
+    const std::size_t cap = cfg.workload.job_count;
+    core::ExperimentSpecStrings axes;
+    axes.workload = workload_spec;
+    try {
+      core::apply_experiment_spec(axes, cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    if (cfg.workload.job_count == 0) cfg.workload.job_count = cap;
+  }
 
   // Every strategy the registry knows, by name — the same names
   // `procsim_sweep --alloc=...` accepts.
@@ -86,15 +92,17 @@ int main(int argc, char** argv) {
   std::printf("%-16s %12s %12s %8s %8s %10s %10s %10s %8s %8s\n", "strategy",
               "turnaround", "service", "util", "hops", "latency", "blocking",
               "wait_p95", "sd_p99", "starved");
-  for (const auto& policy : policies) {
+  for (const std::string& sched_name : sched_names) {
     for (const char* name : names) {
-      const auto spec = core::parse_allocator_spec(name);
-      if (!spec) {
-        std::fprintf(stderr, "unknown allocator %s\n", name);
+      core::ExperimentSpecStrings axes;
+      axes.alloc = name;
+      axes.sched = sched_name;
+      try {
+        core::apply_experiment_spec(axes, cfg);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
         return 1;
       }
-      cfg.allocator = *spec;
-      cfg.scheduler = policy;
       const core::RunMetrics m = core::run_once(cfg);
       std::printf("%-16s %12.1f %12.1f %8.3f %8.2f %10.2f %10.2f %10.1f %8.2f %8.0f\n",
                   cfg.series_label().c_str(), m.turnaround.mean(), m.service.mean(),

@@ -27,6 +27,10 @@ Gated (hard-fail) rows, chosen for signal over CI noise:
   BENCH_network.json speedup.speedup >= 3.0 — an *absolute* floor on the
                                  128x128 batched/stepped ratio, checked on
                                  the current run even without a baseline.
+  BENCH_cluster.json dispatch[]  policy in {round_robin, shortest_queue}
+                                 -> jobs_per_sec   (the deterministic fleet
+                                 dispatch paths; the RNG/snapshot policies
+                                 ride along report-only)
 
 A malformed or truncated bench JSON (an interrupted baseline upload, a
 half-written artifact) exits 3 with a one-line ERROR instead of a traceback,
@@ -72,6 +76,7 @@ GATED_CHURN = ("FirstFit", "GABL")
 GATED_QUEUE_IMPL = "calendar"
 GATED_E2E_ENGINE = "calendar"
 GATED_NET_ENGINE = "batched"
+GATED_DISPATCH = ("round_robin", "shortest_queue")
 
 EXIT_BAD_INPUT = 3
 
@@ -237,6 +242,22 @@ def compare(baseline_dir, current_dir, threshold):
     else:
         print("BENCH_network.json: no baseline yet, seeding")
 
+    cluster_base = os.path.join(baseline_dir, "BENCH_cluster.json")
+    cluster_cur = os.path.join(current_dir, "BENCH_cluster.json")
+    if os.path.exists(cluster_base) and os.path.exists(cluster_cur):
+        base, cur = load(cluster_base), load(cluster_cur)
+        if base.get("mode") != cur.get("mode"):
+            print(f"  mode changed ({base.get('mode')} -> {cur.get('mode')}): "
+                  "baseline not comparable, skipped")
+        else:
+            print("BENCH_cluster.json:")
+            failures += compare_rows(
+                "dispatch", base["dispatch"], cur["dispatch"],
+                ("cluster", "policy"), "jobs_per_sec", threshold,
+                gate=lambda key: key[1] in GATED_DISPATCH)
+    else:
+        print("BENCH_cluster.json: no baseline yet, seeding")
+
     workload_base = os.path.join(baseline_dir, "BENCH_workload.json")
     workload_cur = os.path.join(current_dir, "BENCH_workload.json")
     if os.path.exists(workload_base) and os.path.exists(workload_cur):
@@ -264,6 +285,8 @@ SUMMARY_FAMILIES = (
      lambda key: key[1] == GATED_NET_ENGINE),
     ("BENCH_network.json", "end_to_end", ("mesh", "engine"),
      "packets_per_sec", lambda key: key[1] == GATED_NET_ENGINE),
+    ("BENCH_cluster.json", "dispatch", ("cluster", "policy"), "jobs_per_sec",
+     lambda key: key[1] in GATED_DISPATCH),
     ("BENCH_workload.json", "sources", ("source",), "jobs_per_sec",
      lambda key: False),
 )
@@ -376,6 +399,27 @@ def self_test():
                     "batched_packets_per_sec": 2e5, "speedup": 4.4},
         "sink_dispatch": {"fn_pointer_ns": 2.3, "std_function_ns": 2.7},
     }
+    cluster_baseline = {
+        "bench": "bench_cluster",
+        "mode": "fast",
+        "dispatch": [
+            {"cluster": "4x(64x64);balance=random", "policy": "random",
+             "jobs_per_sec": 3.4e4, "events_per_sec": 3.1e6,
+             "jobs": 1500, "events": 136779},
+            {"cluster": "4x(64x64);balance=round_robin",
+             "policy": "round_robin", "jobs_per_sec": 4.2e4,
+             "events_per_sec": 3.8e6, "jobs": 1500, "events": 134339},
+            {"cluster": "4x(64x64);balance=shortest_queue",
+             "policy": "shortest_queue", "jobs_per_sec": 3.3e4,
+             "events_per_sec": 3.2e6, "jobs": 1500, "events": 144330},
+            {"cluster": "4x(64x64);balance=stale_queue;stale=10",
+             "policy": "stale_queue", "jobs_per_sec": 3.1e4,
+             "events_per_sec": 2.8e6, "jobs": 1500, "events": 136666},
+            {"cluster": "4x(64x64);balance=improved;stale=10",
+             "policy": "improved", "jobs_per_sec": 3.0e4,
+             "events_per_sec": 2.9e6, "jobs": 1500, "events": 141521},
+        ],
+    }
     slowed = copy.deepcopy(baseline)
     for row in slowed["queries"]:
         row["index_ops_per_sec"] /= 2.0
@@ -393,7 +437,8 @@ def self_test():
         os.makedirs(base_dir)
         os.makedirs(cur_dir)
 
-        def write(directory, alloc_doc, event_doc, net_doc=None):
+        def write(directory, alloc_doc, event_doc, net_doc=None,
+                  cluster_doc=None):
             with open(os.path.join(directory, "BENCH_alloc.json"), "w") as f:
                 json.dump(alloc_doc, f)
             with open(os.path.join(directory, "BENCH_event.json"), "w") as f:
@@ -402,8 +447,13 @@ def self_test():
                 with open(os.path.join(directory,
                                        "BENCH_network.json"), "w") as f:
                     json.dump(net_doc, f)
+            if cluster_doc is not None:
+                with open(os.path.join(directory,
+                                       "BENCH_cluster.json"), "w") as f:
+                    json.dump(cluster_doc, f)
 
-        write(base_dir, baseline, event_baseline, network_baseline)
+        write(base_dir, baseline, event_baseline, network_baseline,
+              cluster_baseline)
 
         print("--- self-test: injected 2x slowdown must FAIL the gate")
         write(cur_dir, slowed, event_slowed)
@@ -531,6 +581,35 @@ def self_test():
             print("self-test FAILED: stepped-oracle rows tripped the gate")
             return 1
         print("  gate ignored the stepped-oracle rows as expected")
+
+        print("--- self-test: gated-dispatch (round_robin + shortest_queue) "
+              "2x slowdown must trip exactly those rows")
+        cluster_slowed = copy.deepcopy(cluster_baseline)
+        for row in cluster_slowed["dispatch"]:
+            if row["policy"] in GATED_DISPATCH:
+                row["jobs_per_sec"] /= 2.0
+        write(cur_dir, baseline, event_baseline, network_baseline,
+              cluster_slowed)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if len(failures) != 2 or not all("dispatch" in f for f in failures):
+            print("self-test FAILED: cluster dispatch slowdown did not trip "
+                  f"exactly the two gated rows ({len(failures)} failures: "
+                  f"{failures})")
+            return 1
+        print("  gate tripped on exactly the gated dispatch rows as expected")
+
+        print("--- self-test: RNG/snapshot-policy dispatch slowdown must PASS")
+        cluster_ungated = copy.deepcopy(cluster_baseline)
+        for row in cluster_ungated["dispatch"]:
+            if row["policy"] not in GATED_DISPATCH:
+                row["jobs_per_sec"] /= 2.0
+        write(cur_dir, baseline, event_baseline, network_baseline,
+              cluster_ungated)
+        failures = compare(base_dir, cur_dir, THRESHOLD_DEFAULT)
+        if failures:
+            print("self-test FAILED: ungated dispatch rows tripped the gate")
+            return 1
+        print("  gate ignored the ungated dispatch rows as expected")
 
         print("--- self-test: a 3.5x network speedup must PASS the "
               "absolute floor")

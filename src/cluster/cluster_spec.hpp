@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mesh/coord.hpp"
+
+namespace procsim::cluster {
+
+/// One mesh of a cluster: its geometry and, optionally, a per-mesh allocator
+/// registry name overriding the experiment's default — heterogeneous
+/// clusters are plain spec strings, no enum axis to widen.
+struct MeshSpec {
+  mesh::Geometry geom{16, 22};
+  std::string alloc;  ///< canonical allocator name; empty = experiment default
+};
+
+/// A validated, canonical cluster spec — the fleet axis of an experiment.
+/// Grammar (case-insensitive keys/names; parse_cluster_spec validates):
+///
+///   cluster := group ("+" group)* (";" key "=" value)*
+///   group   := N "x(" W "x" L [":" ALLOC] ")"
+///   keys    := balance = random | round_robin | shortest_queue
+///                      | stale_queue | improved        (default round_robin)
+///            | stale   = T   refresh period of the stale snapshot
+///                            (stale_queue / improved only; default 10)
+///            | migrate = steal | off                   (default off)
+///            | lat     = L   migration latency paid per stolen job
+///                            (default 50)
+///
+/// Examples:
+///   4x(32x32);balance=shortest_queue;stale=10;migrate=steal;lat=50
+///   2x(32x32:GABL)+2x(16x16:FirstFit);balance=improved
+///
+/// `canonical` is the normalized spelling; parse_cluster_spec(canonical)
+/// reproduces the identical spec (round-trip pinned by test).
+struct ClusterSpec {
+  std::vector<MeshSpec> meshes;    ///< expanded groups, in spec order
+  std::string balance{"round_robin"};
+  double stale_refresh{10.0};      ///< snapshot period (stale_queue/improved)
+  bool migrate{false};             ///< work-stealing migration enabled
+  double migrate_latency{50.0};    ///< simulated cost per migrated job
+  std::string canonical;
+
+  [[nodiscard]] std::size_t size() const noexcept { return meshes.size(); }
+  [[nodiscard]] std::int64_t total_nodes() const noexcept {
+    std::int64_t n = 0;
+    for (const MeshSpec& m : meshes) n += m.geom.nodes();
+    return n;
+  }
+  friend bool operator==(const ClusterSpec& a, const ClusterSpec& b) {
+    return a.canonical == b.canonical;
+  }
+};
+
+/// The dispatch-policy names `balance=` accepts, in registry order — the
+/// listing every unknown-name error prints (the same fail-fast idiom as
+/// workload::make_source).
+[[nodiscard]] std::vector<std::string> known_dispatchers();
+
+/// known_dispatchers() joined with ", ".
+[[nodiscard]] std::string known_dispatcher_list();
+
+/// Case-insensitive parse of a cluster spec. Returns nullopt and (when
+/// `error` is non-null) a one-line reason for malformed specs: bad group
+/// syntax, zero counts, unknown allocator names, unknown balance policies,
+/// unknown keys, or non-positive stale/lat values. Geometry sides obey the
+/// same 1..4096 bound as `--mesh`.
+[[nodiscard]] std::optional<ClusterSpec> parse_cluster_spec(std::string_view spec,
+                                                            std::string* error = nullptr);
+
+}  // namespace procsim::cluster

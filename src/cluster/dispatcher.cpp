@@ -1,0 +1,137 @@
+#include "cluster/dispatcher.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "cluster/cluster_spec.hpp"
+#include "des/rng.hpp"
+
+namespace procsim::cluster {
+namespace {
+
+/// Uniform pick among the eligible meshes from a private xoshiro stream.
+class RandomDispatcher final : public Dispatcher {
+ public:
+  explicit RandomDispatcher(std::uint64_t seed) : rng_(seed) {}
+
+  std::size_t pick(double /*now*/, const std::vector<MeshLoadView>& /*loads*/,
+                   const std::vector<std::size_t>& eligible) override {
+    return eligible[static_cast<std::size_t>(rng_() % eligible.size())];
+  }
+
+  std::string_view name() const override { return "random"; }
+
+ private:
+  des::Xoshiro256SS rng_;
+};
+
+/// Cycles through mesh indices; skips ahead past ineligible meshes so every
+/// eligible mesh is still visited in cyclic order.
+class RoundRobinDispatcher final : public Dispatcher {
+ public:
+  std::size_t pick(double /*now*/, const std::vector<MeshLoadView>& loads,
+                   const std::vector<std::size_t>& eligible) override {
+    const std::size_t n = loads.size();
+    for (std::size_t tried = 0; tried < n; ++tried) {
+      const std::size_t candidate = next_++ % n;
+      for (const std::size_t e : eligible) {
+        if (e == candidate) return candidate;
+      }
+    }
+    return eligible.front();  // unreachable: eligible is non-empty
+  }
+
+  std::string_view name() const override { return "round_robin"; }
+
+ private:
+  std::size_t next_{0};
+};
+
+std::size_t argmin_depth(const std::vector<MeshLoadView>& loads,
+                         const std::vector<std::size_t>& eligible) {
+  std::size_t best = eligible.front();
+  std::int64_t best_depth = std::numeric_limits<std::int64_t>::max();
+  for (const std::size_t e : eligible) {
+    if (loads[e].queue_depth < best_depth) {
+      best = e;
+      best_depth = loads[e].queue_depth;
+    }
+  }
+  return best;
+}
+
+/// Always consults the fresh load view: the omniscient baseline.
+class ShortestQueueDispatcher final : public Dispatcher {
+ public:
+  std::size_t pick(double /*now*/, const std::vector<MeshLoadView>& loads,
+                   const std::vector<std::size_t>& eligible) override {
+    return argmin_depth(loads, eligible);
+  }
+
+  std::string_view name() const override { return "shortest_queue"; }
+};
+
+/// Shortest-queue over a snapshot refreshed every `refresh` time units —
+/// models a dispatcher polling mesh state periodically instead of reading
+/// it per decision. Between refreshes the fresh `loads` are ignored, so
+/// decisions can be (measurably) stale.
+class StaleQueueDispatcher : public Dispatcher {
+ public:
+  explicit StaleQueueDispatcher(double refresh) : refresh_(refresh) {}
+
+  std::size_t pick(double now, const std::vector<MeshLoadView>& loads,
+                   const std::vector<std::size_t>& eligible) override {
+    maybe_refresh(now, loads);
+    return argmin_depth(snapshot_, eligible);
+  }
+
+  std::string_view name() const override { return "stale_queue"; }
+
+ protected:
+  void maybe_refresh(double now, const std::vector<MeshLoadView>& loads) {
+    if (!have_snapshot_ || now - last_refresh_ >= refresh_) {
+      snapshot_ = loads;
+      last_refresh_ = now;
+      have_snapshot_ = true;
+    }
+  }
+
+  double refresh_;
+  double last_refresh_{0.0};
+  bool have_snapshot_{false};
+  std::vector<MeshLoadView> snapshot_;
+};
+
+/// The hybrid: stale snapshot plus a local increment of the chosen mesh's
+/// queue depth between refreshes. Cheap like stale_queue (no per-decision
+/// poll) but avoids the herd effect of sending every arrival in a refresh
+/// window to the same then-shortest queue.
+class ImprovedDispatcher final : public StaleQueueDispatcher {
+ public:
+  explicit ImprovedDispatcher(double refresh) : StaleQueueDispatcher(refresh) {}
+
+  std::size_t pick(double now, const std::vector<MeshLoadView>& loads,
+                   const std::vector<std::size_t>& eligible) override {
+    maybe_refresh(now, loads);
+    const std::size_t chosen = argmin_depth(snapshot_, eligible);
+    snapshot_[chosen].queue_depth += 1;
+    return chosen;
+  }
+
+  std::string_view name() const override { return "improved"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Dispatcher> make_dispatcher(const std::string& name, double stale_refresh,
+                                            std::uint64_t seed) {
+  if (name == "random") return std::make_unique<RandomDispatcher>(seed);
+  if (name == "round_robin") return std::make_unique<RoundRobinDispatcher>();
+  if (name == "shortest_queue") return std::make_unique<ShortestQueueDispatcher>();
+  if (name == "stale_queue") return std::make_unique<StaleQueueDispatcher>(stale_refresh);
+  if (name == "improved") return std::make_unique<ImprovedDispatcher>(stale_refresh);
+  throw std::invalid_argument("unknown dispatcher '" + name +
+                              "'; known: " + known_dispatcher_list());
+}
+
+}  // namespace procsim::cluster

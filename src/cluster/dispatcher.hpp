@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace procsim::cluster {
+
+/// Fresh per-mesh load, sampled by ClusterSim at each dispatch decision.
+/// Dispatchers that model staleness copy these into a private snapshot and
+/// ignore the fresh values between refreshes.
+struct MeshLoadView {
+  std::int64_t queue_depth{0};      ///< jobs waiting in the mesh's FCFS queue
+  std::int64_t free_processors{0};  ///< unallocated nodes right now
+  std::int64_t running_jobs{0};     ///< jobs currently placed on the mesh
+};
+
+/// A load-balancing dispatch policy: given the fresh per-mesh load and the
+/// subset of meshes the job fits on, returns the index of the mesh to send
+/// it to. Implementations must be deterministic given construction seed and
+/// call sequence — cluster CSV byte-determinism rides on it.
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Picks one mesh from `eligible` (indices into `loads`, ascending,
+  /// non-empty). `now` is the simulation clock, used by snapshot policies
+  /// to decide whether a refresh is due.
+  [[nodiscard]] virtual std::size_t pick(double now,
+                                         const std::vector<MeshLoadView>& loads,
+                                         const std::vector<std::size_t>& eligible) = 0;
+
+  /// Canonical policy name ("round_robin", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Factory mirroring alloc::make_allocator: `name` must be one of
+/// known_dispatchers(). `stale_refresh` parameterizes the snapshot policies
+/// (stale_queue, improved) and is ignored by the rest; `seed` feeds the
+/// random policy's private stream. Throws std::invalid_argument listing the
+/// known policies for anything else.
+[[nodiscard]] std::unique_ptr<Dispatcher> make_dispatcher(const std::string& name,
+                                                          double stale_refresh,
+                                                          std::uint64_t seed);
+
+}  // namespace procsim::cluster

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "alloc/registry.hpp"
+#include "cluster/cluster_sim.hpp"
 #include "obs/recorder.hpp"
 #include "sched/registry.hpp"
 #include "stats/parallel_replication.hpp"
@@ -11,16 +12,17 @@
 
 namespace procsim::core {
 
-std::string AllocatorSpec::label() const {
-  switch (kind) {
-    case AllocatorKind::kGabl: return "GABL";
-    case AllocatorKind::kPaging: return "Paging(" + std::to_string(paging_size_index) + ")";
-    case AllocatorKind::kMbs: return "MBS";
-    case AllocatorKind::kFirstFit: return "FirstFit";
-    case AllocatorKind::kBestFit: return "BestFit";
-    case AllocatorKind::kRandom: return "Random";
+AllocatorSpec::AllocatorSpec(const std::string& name) {
+  const auto parsed = alloc::parse_allocator_name(name);
+  if (!parsed) {
+    std::string known;
+    for (const std::string& k : alloc::known_allocators()) {
+      if (!known.empty()) known += ", ";
+      known += k;
+    }
+    throw std::invalid_argument("unknown allocator '" + name + "'; known: " + known);
   }
-  return "?";
+  canonical = parsed->canonical;
 }
 
 std::unique_ptr<alloc::Allocator> make_allocator(const AllocatorSpec& spec,
@@ -28,7 +30,7 @@ std::unique_ptr<alloc::Allocator> make_allocator(const AllocatorSpec& spec,
   alloc::AllocatorParams params;
   params.seed = seed;
   params.paging_indexing = spec.paging_indexing;
-  return alloc::make_allocator(spec.label(), geom, params);
+  return alloc::make_allocator(spec.canonical, geom, params);
 }
 
 std::unique_ptr<sched::Scheduler> make_scheduler(const sched::SchedSpec& spec) {
@@ -39,15 +41,7 @@ std::optional<AllocatorSpec> parse_allocator_spec(const std::string& name) {
   const auto parsed = alloc::parse_allocator_name(name);
   if (!parsed) return std::nullopt;
   AllocatorSpec spec;
-  spec.paging_size_index = parsed->paging_size_index;
-  switch (parsed->family) {
-    case alloc::Family::kGabl: spec.kind = AllocatorKind::kGabl; break;
-    case alloc::Family::kPaging: spec.kind = AllocatorKind::kPaging; break;
-    case alloc::Family::kMbs: spec.kind = AllocatorKind::kMbs; break;
-    case alloc::Family::kFirstFit: spec.kind = AllocatorKind::kFirstFit; break;
-    case alloc::Family::kBestFit: spec.kind = AllocatorKind::kBestFit; break;
-    case alloc::Family::kRandom: spec.kind = AllocatorKind::kRandom; break;
-  }
+  spec.canonical = parsed->canonical;
   return spec;
 }
 
@@ -106,6 +100,34 @@ std::vector<workload::Job> build_jobs(const WorkloadSpec& spec, const mesh::Geom
 
 RunMetrics run_probed(const ExperimentConfig& cfg, obs::Recorder* recorder,
                       MetricsSink* sink) {
+  if (cfg.cluster.has_value()) {
+    const cluster::ClusterSpec& spec = *cfg.cluster;
+    // Jobs are shaped for the first mesh's geometry; `workload.load` means
+    // per-mesh offered load, so the fleet's arrival rate scales with its
+    // aggregate capacity (load is linear in arrival rate for every source).
+    const mesh::Geometry shape_geom = spec.meshes.front().geom;
+    WorkloadSpec scaled = cfg.workload;
+    scaled.load *= static_cast<double>(spec.total_nodes()) /
+                   static_cast<double>(shape_geom.nodes());
+    const auto source =
+        make_workload_source(scaled, shape_geom, cfg.sys.net.packet_len);
+    source->reset(cfg.seed);
+    cluster::ClusterSimConfig ccfg;
+    ccfg.spec = spec;
+    ccfg.net = cfg.sys.net;
+    ccfg.think_time = cfg.sys.think_time;
+    ccfg.target_completions = cfg.sys.target_completions;
+    ccfg.warmup_completions = cfg.sys.warmup_completions;
+    ccfg.seed = cfg.seed;
+    ccfg.max_events = cfg.sys.max_events;
+    ccfg.event_engine = cfg.sys.event_engine;
+    ccfg.recorder = recorder != nullptr ? recorder : cfg.sys.recorder;
+    ccfg.default_alloc = cfg.allocator.label();
+    ccfg.scheduler = cfg.scheduler;
+    cluster::ClusterSim csim(std::move(ccfg));
+    if (sink != nullptr) csim.set_metrics_sink(sink);
+    return csim.run(*source);
+  }
   const auto allocator = make_allocator(cfg.allocator, cfg.sys.geom, cfg.seed);
   const auto scheduler = core::make_scheduler(cfg.scheduler);
   const auto source =
@@ -167,6 +189,16 @@ std::map<std::string, double> to_observations(const RunMetrics& m) {
       {"slowdown_p99", m.jobs.slowdown.p99},
       {"slowdown_max", m.jobs.slowdown.max},
       {"starved", m.jobs.starved},
+      // Cluster observations (ClusterStats; all 0 on single-mesh runs).
+      // Excluded from the replication stopping rule like the fairness
+      // analytics — see precision_observation_names().
+      {"util_spread", m.cluster.spread()},
+      {"util_min", m.cluster.util_min},
+      {"util_max", m.cluster.util_max},
+      {"util_stddev", m.cluster.util_stddev},
+      {"migrations", static_cast<double>(m.cluster.migrations)},
+      {"migration_latency", m.cluster.migration_latency},
+      {"stale_errors", static_cast<double>(m.cluster.stale_errors)},
   };
 }
 

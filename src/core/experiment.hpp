@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "alloc/allocator.hpp"
+#include "cluster/cluster_spec.hpp"
 #include "core/system_sim.hpp"
 #include "mesh/page_table.hpp"
 #include "sched/registry.hpp"
@@ -20,15 +21,27 @@
 
 namespace procsim::core {
 
-/// Which allocation strategy to instantiate.
-enum class AllocatorKind { kGabl, kPaging, kMbs, kFirstFit, kBestFit, kRandom };
-
+/// Thin wrapper over an allocator registry name — the experiment layer's
+/// allocator axis IS the registry's, one construction path (the legacy
+/// AllocatorKind enum is gone). `canonical` is always a spelling
+/// alloc::parse_allocator_name accepts and normalizes; label() returns it
+/// verbatim and parse_allocator_spec(label()) round-trips (pinned by test).
 struct AllocatorSpec {
-  AllocatorKind kind{AllocatorKind::kGabl};
-  std::int32_t paging_size_index{0};
+  std::string canonical{"GABL"};
+  /// Page-indexing curve for the Paging family; not part of the name (same
+  /// as alloc::AllocatorParams).
   mesh::PageIndexing paging_indexing{mesh::PageIndexing::kRowMajor};
 
-  [[nodiscard]] std::string label() const;
+  AllocatorSpec() = default;
+  /// Validating constructor: throws std::invalid_argument (listing the known
+  /// allocators) unless `name` parses; stores the canonical spelling.
+  explicit AllocatorSpec(const std::string& name);
+
+  [[nodiscard]] std::string label() const { return canonical; }
+
+  friend bool operator==(const AllocatorSpec& a, const AllocatorSpec& b) {
+    return a.canonical == b.canonical && a.paging_indexing == b.paging_indexing;
+  }
 };
 
 /// Delegates to the alloc/sched registries (alloc::make_allocator,
@@ -74,6 +87,14 @@ struct ExperimentConfig {
   AllocatorSpec allocator{};
   sched::SchedSpec scheduler{};  ///< canonical registry spec; default FCFS
   WorkloadSpec workload{};
+  /// The fleet axis: when set, the run is a cluster::ClusterSim over the
+  /// spec's meshes instead of one SystemSim over sys.geom (which is then
+  /// ignored except as workload shaping fallback — jobs are shaped for the
+  /// cluster's first mesh, and `workload.load` stays the *per-mesh* offered
+  /// load: the cluster path scales the source's arrival rate by
+  /// total_nodes/first_mesh_nodes). `allocator` is the default for meshes
+  /// whose group names none.
+  std::optional<cluster::ClusterSpec> cluster;
   std::uint64_t seed{1};
   /// Attach a throwaway fully-enabled obs::Recorder (trace + telemetry) to
   /// every replication, discarding what it collects. Exists to *exercise*

@@ -16,9 +16,9 @@ namespace procsim::core {
 
 std::vector<Series> paper_series() {
   std::vector<Series> out;
-  const AllocatorSpec gabl{AllocatorKind::kGabl, 0, mesh::PageIndexing::kRowMajor};
-  const AllocatorSpec paging0{AllocatorKind::kPaging, 0, mesh::PageIndexing::kRowMajor};
-  const AllocatorSpec mbs{AllocatorKind::kMbs, 0, mesh::PageIndexing::kRowMajor};
+  const AllocatorSpec gabl{"GABL"};
+  const AllocatorSpec paging0{"Paging(0)"};
+  const AllocatorSpec mbs{"MBS"};
   for (const auto policy : {sched::Policy::kFcfs, sched::Policy::kSsd}) {
     out.push_back(Series{gabl, policy});
     out.push_back(Series{paging0, policy});

@@ -91,6 +91,13 @@ void JobArena::release(Slot s) {
   free_.push_back(s);
 }
 
+workload::Job JobArena::extract(Slot s) {
+  if (!occupied(s)) throw std::logic_error("JobArena: extracting a free slot");
+  workload::Job out = std::move(jobs_[s]);
+  release(s);
+  return out;
+}
+
 void JobArena::clear() {
   index_.clear();
   free_.clear();

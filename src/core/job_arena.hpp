@@ -73,6 +73,11 @@ class JobArena {
   /// Frees the slot for reuse and forgets the id mapping.
   void release(Slot s);
 
+  /// Removes the job from the slot and returns it (release + payload move).
+  /// The inter-mesh migration path: the stolen job leaves this arena whole
+  /// and re-enters another mesh's arena on re-queue — one resident copy ever.
+  [[nodiscard]] workload::Job extract(Slot s);
+
   /// Forgets everything; keeps slot capacity for the next run.
   void clear();
 

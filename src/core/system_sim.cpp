@@ -12,7 +12,17 @@ namespace procsim::core {
 SystemSim::SystemSim(SystemConfig cfg, alloc::Allocator& allocator,
                      sched::Scheduler& scheduler)
     : cfg_(cfg), allocator_(allocator), scheduler_(scheduler),
-      rec_(cfg.recorder), sim_(cfg.event_engine) {
+      rec_(cfg.recorder), own_sim_(cfg.event_engine), sim_(&own_sim_) {
+  if (!(allocator.geometry() == cfg.geom))
+    throw std::invalid_argument("SystemSim: allocator geometry mismatch");
+}
+
+SystemSim::SystemSim(SystemConfig cfg, alloc::Allocator& allocator,
+                     sched::Scheduler& scheduler, des::Simulator* clock)
+    : cfg_(cfg), allocator_(allocator), scheduler_(scheduler),
+      rec_(cfg.recorder), own_sim_(cfg.event_engine), sim_(clock) {
+  if (clock == nullptr)
+    throw std::invalid_argument("SystemSim: external clock must be non-null");
   if (!(allocator.geometry() == cfg.geom))
     throw std::invalid_argument("SystemSim: allocator geometry mismatch");
 }
@@ -29,7 +39,24 @@ RunMetrics SystemSim::run(const std::vector<workload::Job>& jobs) {
 
 RunMetrics SystemSim::run(workload::Source& source) {
   const auto wall_start = std::chrono::steady_clock::now();
-  sim_.reset();
+  sim_->reset();
+  begin_run();
+
+  source_ = &source;
+  pump_arrival();
+  // The first telemetry snapshot lands at t = 0 (the pristine mesh); every
+  // sampling event is pure observation plus its own reschedule, and the
+  // (time, seq) pop order keeps all model-event pairs in their original
+  // relative order — trajectories are bit-identical with sampling on.
+  if (rec_ != nullptr && rec_->sampler() != nullptr) sample_telemetry();
+  sim_->run(cfg_.max_events);
+  source_ = nullptr;
+
+  finalize_run(/*own_clock=*/true, wall_start);
+  return metrics_;
+}
+
+void SystemSim::begin_run() {
   allocator_.reset();
   allocator_.set_recorder(rec_);
   scheduler_.clear();
@@ -42,7 +69,7 @@ RunMetrics SystemSim::run(workload::Source& source) {
   busy_procs_ = stats::TimeWeighted{};
   queue_len_ = stats::TimeWeighted{};
   rng_ = des::Xoshiro256SS{cfg_.seed};
-  net_ = std::make_unique<network::WormholeNetwork>(sim_, cfg_.geom, cfg_.net);
+  net_ = std::make_unique<network::WormholeNetwork>(*sim_, cfg_.geom, cfg_.net);
   // Captureless-lambda-to-function-pointer: the per-delivery dispatch is a
   // raw call through (fn, ctx), not a type-erased std::function.
   net_->set_delivery_sink(
@@ -51,18 +78,11 @@ RunMetrics SystemSim::run(workload::Source& source) {
       },
       this);
   net_->set_recorder(rec_);
+}
 
-  source_ = &source;
-  pump_arrival();
-  // The first telemetry snapshot lands at t = 0 (the pristine mesh); every
-  // sampling event is pure observation plus its own reschedule, and the
-  // (time, seq) pop order keeps all model-event pairs in their original
-  // relative order — trajectories are bit-identical with sampling on.
-  if (rec_ != nullptr && rec_->sampler() != nullptr) sample_telemetry();
-  sim_.run(cfg_.max_events);
-  source_ = nullptr;
-
-  const double end = sim_.now();
+void SystemSim::finalize_run(bool own_clock,
+                             std::chrono::steady_clock::time_point wall_start) {
+  const double end = sim_->now();
   metrics_.completed = completed_ >= cfg_.warmup_completions
                            ? completed_ - cfg_.warmup_completions
                            : 0;
@@ -70,7 +90,7 @@ RunMetrics SystemSim::run(workload::Source& source) {
   metrics_.utilization =
       busy_procs_.average(end) / static_cast<double>(cfg_.geom.nodes());
   metrics_.mean_queue_length = queue_len_.average(end);
-  metrics_.events = sim_.events_executed();
+  metrics_.events = sim_->events_executed();
   if (rec_ != nullptr) {
     // End-of-run pull of the subsystem tallies the hot hooks never touch:
     // the occupancy index and calendar queue keep their own lightweight
@@ -83,8 +103,13 @@ RunMetrics SystemSim::run(workload::Source& source) {
     c.index_descent_queries += qs.descent_queries;
     c.index_first_fit_queries += qs.first_fit_queries;
     c.index_best_fit_queries += qs.best_fit_queries;
-    c.calendar_rebuckets += sim_.queue().rebucket_count();
-    c.sim_events += sim_.events_executed();
+    if (own_clock) {
+      // The clock-level tallies belong to whoever owns the event loop: in
+      // cluster mode N meshes share one clock and the cluster adds these
+      // once, else every counter would be N-fold.
+      c.calendar_rebuckets += sim_->queue().rebucket_count();
+      c.sim_events += sim_->events_executed();
+    }
     const network::NetStats& ns = net_->stats();
     c.net_runs_batched += ns.runs_batched;
     for (std::size_t i = 0; i < 6; ++i)
@@ -92,24 +117,45 @@ RunMetrics SystemSim::run(workload::Source& source) {
     c.net_truncations += ns.truncations;
     c.net_analytic_packets += ns.analytic_packets;
     scheduler_.export_counters(c.extras);
-    if (rec_->timers_enabled()) {
+    if (own_clock && rec_->timers_enabled()) {
       const std::chrono::duration<double> wall =
           std::chrono::steady_clock::now() - wall_start;
       c.add_timer("run_wall_s", wall.count());
     }
   }
+}
+
+void SystemSim::begin_external_run() { begin_run(); }
+
+void SystemSim::submit(workload::Job job) { on_arrival(std::move(job)); }
+
+RunMetrics SystemSim::finish_external_run() {
+  finalize_run(/*own_clock=*/false, {});
   return metrics_;
+}
+
+const workload::Job* SystemSim::peek_last_queued() const {
+  if (scheduler_.size() == 0) return nullptr;
+  const sched::QueuedJob q = scheduler_.job_at(scheduler_.size() - 1);
+  return &arena_.job(arena_.slot_of(q.job_id));
+}
+
+std::optional<workload::Job> SystemSim::steal_last_queued() {
+  if (scheduler_.size() == 0) return std::nullopt;
+  const sched::QueuedJob taken = scheduler_.take(scheduler_.size() - 1);
+  queue_len_.set(sim_->now(), static_cast<double>(scheduler_.size()));
+  return arena_.extract(arena_.slot_of(taken.job_id));
 }
 
 void SystemSim::pump_arrival() {
   const std::optional<double> next = source_->peek_arrival();
   if (!next) return;
-  if (*next < sim_.now())
+  if (*next < sim_->now())
     throw std::invalid_argument("SystemSim: source arrivals must be non-decreasing");
   // The next arrival is scheduled *before* this one's side effects run (see
   // the call site in the arrival event), preserving the event order of the
   // historical schedule-all-arrivals-up-front implementation.
-  sim_.schedule_at(*next, [this] {
+  sim_->schedule_at(*next, [this] {
     std::optional<workload::Job> job = source_->next_job();
     if (!job) return;  // a source must not retract a peeked job; be lenient
     pump_arrival();
@@ -119,7 +165,7 @@ void SystemSim::pump_arrival() {
 
 void SystemSim::on_arrival(workload::Job job) {
   if (rec_ != nullptr)
-    rec_->job_arrival(sim_.now(), job.id, job.width, job.length, job.processors);
+    rec_->job_arrival(sim_->now(), job.id, job.width, job.length, job.processors);
   sched::QueuedJob q;
   q.job_id = job.id;
   q.arrival = job.arrival;
@@ -128,7 +174,7 @@ void SystemSim::on_arrival(workload::Job job) {
   q.processors = job.processors;
   q.seq = seq_++;
   scheduler_.enqueue(q);
-  queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
+  queue_len_.set(sim_->now(), static_cast<double>(scheduler_.size()));
 
   (void)arena_.acquire(std::move(job));  // queued; placed at start
   request_schedule();
@@ -145,7 +191,7 @@ void SystemSim::request_schedule() {
   // into the already-registered batch-end action. The flag clears before the
   // pass runs so job starts *inside* the pass (which may complete instantly
   // at the same timestamp) can re-request and extend the batch.
-  sim_.at_batch_end([this] {
+  sim_->at_batch_end([this] {
     pass_pending_ = false;
     try_schedule();
   });
@@ -170,7 +216,7 @@ void SystemSim::try_schedule() {
   std::uint64_t pass_seq = 0;
   if (rec_ != nullptr) {
     pass_seq = rec_->counters().schedule_passes;
-    rec_->pass_begin(sim_.now(), pass_seq,
+    rec_->pass_begin(sim_->now(), pass_seq,
                      static_cast<std::uint64_t>(scheduler_.size()));
   }
   const sched::AllocProbe probe = [this, &probes](const sched::QueuedJob& q) {
@@ -191,7 +237,7 @@ void SystemSim::try_schedule() {
             alloc::Request{job.width, job.length, job.processors}, released);
       };
   for (;;) {
-    const sched::SchedSnapshot snap{sim_.now(),
+    const sched::SchedSnapshot snap{sim_->now(),
                                     static_cast<std::int64_t>(allocator_.free_processors()),
                                     &shape_fit};
     const auto pos = scheduler_.select(probe, snap);
@@ -203,31 +249,31 @@ void SystemSim::try_schedule() {
     auto placement = allocator_.allocate(req);
     if (!placement) {
       if (rec_ != nullptr)
-        rec_->alloc_fail(sim_.now(), job.id, req.width, req.length, req.processors);
+        rec_->alloc_fail(sim_->now(), job.id, req.width, req.length, req.processors);
       break;  // blocking semantics / a stale probe ends the pass
     }
     if (rec_ != nullptr) {
       const mesh::SubMesh& first = placement->blocks.front();
-      rec_->alloc_success(sim_.now(), job.id, placement->allocated,
+      rec_->alloc_success(sim_->now(), job.id, placement->allocated,
                           static_cast<std::uint32_t>(placement->blocks.size()),
                           first.x1, first.y1, first.width(), first.length());
       ++started;
     }
     const sched::QueuedJob taken = scheduler_.take(*pos);
-    scheduler_.on_start(taken, sim_.now(), placement->allocated, placement->blocks);
-    queue_len_.set(sim_.now(), static_cast<double>(scheduler_.size()));
+    scheduler_.on_start(taken, sim_->now(), placement->allocated, placement->blocks);
+    queue_len_.set(sim_->now(), static_cast<double>(scheduler_.size()));
     start_job(arena_.slot_of(taken.job_id), std::move(*placement));
   }
   if (rec_ != nullptr)
-    rec_->pass_end(sim_.now(), pass_seq, probes, nominees, started,
+    rec_->pass_end(sim_->now(), pass_seq, probes, nominees, started,
                    static_cast<std::int32_t>(scheduler_.size()));
 }
 
 void SystemSim::start_job(JobArena::Slot slot, alloc::Placement placement) {
   const workload::Job& job = arena_.job(slot);
-  arena_.start_time(slot) = sim_.now();
+  arena_.start_time(slot) = sim_->now();
   arena_.placement(slot) = std::move(placement);
-  busy_procs_.add(sim_.now(),
+  busy_procs_.add(sim_->now(),
                   static_cast<double>(arena_.placement(slot).allocated));
 
   const std::vector<network::SrcDst> traffic =
@@ -238,7 +284,7 @@ void SystemSim::start_job(JobArena::Slot slot, alloc::Placement placement) {
     // packet's worth of work (a zero-hop traversal).
     const double nominal = static_cast<double>(net_->base_latency_cycles(0));
     arena_.outstanding(slot) = 0;
-    sim_.schedule_in(nominal, [this, slot] { complete_job(slot); });
+    sim_->schedule_in(nominal, [this, slot] { complete_job(slot); });
     return;
   }
 
@@ -271,7 +317,7 @@ void SystemSim::on_delivery(const network::Delivery& d) {
     const mesh::NodeId src = d.src;
     const mesh::NodeId dst = *next_dst;
     if (cfg_.think_time > 0) {
-      sim_.schedule_in(cfg_.think_time,
+      sim_->schedule_in(cfg_.think_time,
                        [this, src, dst, slot] { net_->inject(src, dst, slot); });
     } else {
       net_->inject(src, dst, slot);
@@ -287,7 +333,7 @@ void SystemSim::complete_job(JobArena::Slot slot) {
   const workload::Job& job = arena_.job(slot);
   const alloc::Placement& placement = arena_.placement(slot);
   const double start_time = arena_.start_time(slot);
-  const double now = sim_.now();
+  const double now = sim_->now();
 
   busy_procs_.add(now, -static_cast<double>(placement.allocated));
   allocator_.release(placement);
@@ -297,27 +343,29 @@ void SystemSim::complete_job(JobArena::Slot slot) {
     rec_->complete(now, job.id, now - job.arrival);
   }
 
+  JobRecord rec;
+  const bool want_record =
+      hook_ != nullptr || (sink_ != nullptr && measuring());
+  if (want_record) {
+    rec.id = job.id;
+    rec.arrival = job.arrival;
+    rec.start = start_time;
+    rec.finish = now;
+    rec.demand = job.demand;
+    rec.width = job.width;
+    rec.length = job.length;
+    rec.processors = job.processors;
+    rec.allocated = placement.allocated;
+    rec.alloc_blocks = static_cast<std::int32_t>(placement.blocks.size());
+    if (placement.blocks.size() == 1) {
+      rec.alloc_width = placement.blocks.front().width();
+      rec.alloc_length = placement.blocks.front().length();
+    }
+  }
   if (measuring()) {
     metrics_.turnaround.add(now - job.arrival);
     metrics_.service.add(now - start_time);
-    if (sink_ != nullptr) {
-      JobRecord rec;
-      rec.id = job.id;
-      rec.arrival = job.arrival;
-      rec.start = start_time;
-      rec.finish = now;
-      rec.demand = job.demand;
-      rec.width = job.width;
-      rec.length = job.length;
-      rec.processors = job.processors;
-      rec.allocated = placement.allocated;
-      rec.alloc_blocks = static_cast<std::int32_t>(placement.blocks.size());
-      if (placement.blocks.size() == 1) {
-        rec.alloc_width = placement.blocks.front().width();
-        rec.alloc_length = placement.blocks.front().length();
-      }
-      sink_->on_job(rec);
-    }
+    if (sink_ != nullptr) sink_->on_job(rec);
   }
   ++completed_;
   if (completed_ == cfg_.warmup_completions) {
@@ -330,17 +378,21 @@ void SystemSim::complete_job(JobArena::Slot slot) {
 
   if (cfg_.target_completions != 0 &&
       completed_ >= cfg_.target_completions + cfg_.warmup_completions) {
-    sim_.stop();
+    sim_->stop();
     return;
   }
   request_schedule();
+  // The cluster hook runs last: the completion is fully accounted, the slot
+  // released, and any same-time scheduling pass done, so the hook sees this
+  // mesh's post-completion state (migration decisions key off it).
+  if (hook_ != nullptr) hook_(hook_ctx_, *this, rec);
 }
 
 void SystemSim::sample_telemetry() {
   obs::GaugeSampler& sampler = *rec_->sampler();
   const mesh::OccupancyIndex& index = allocator_.index();
   obs::GaugeSampler::Sample s;
-  s.t = sim_.now();
+  s.t = sim_->now();
   s.queue_depth = scheduler_.size();
   // Every resident job is either queued or holding processors.
   s.running_jobs = arena_.active() - scheduler_.size();
@@ -363,7 +415,7 @@ void SystemSim::sample_telemetry() {
   // jobs or pending arrivals. Without it an unbounded reschedule would keep
   // the event queue non-empty forever on runs that end by draining.
   if (arena_.active() > 0 || (source_ != nullptr && source_->peek_arrival()))
-    sim_.schedule_in(sampler.interval(), [this] { sample_telemetry(); });
+    sim_->schedule_in(sampler.interval(), [this] { sample_telemetry(); });
 }
 
 }  // namespace procsim::core

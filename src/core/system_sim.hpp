@@ -1,7 +1,9 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "alloc/allocator.hpp"
@@ -66,6 +68,23 @@ struct JobDistributions {
   double starved{0};  ///< jobs waiting > starvation_factor × median wait
 };
 
+/// Cluster-level extras, filled only by cluster::ClusterSim (meshes == 0 on
+/// a single-mesh run, and every derived observation reads 0). The per-mesh
+/// utilization spread is the load-balance quality signal; the migration and
+/// staleness tallies characterize the dispatcher.
+struct ClusterStats {
+  std::size_t meshes{0};          ///< 0 = not a cluster run
+  double util_min{0};             ///< min over per-mesh utilizations
+  double util_max{0};
+  double util_mean{0};            ///< unweighted mean over meshes
+  double util_stddev{0};
+  std::uint64_t migrations{0};    ///< jobs stolen between meshes
+  double migration_latency{0};    ///< total modeled latency paid
+  std::uint64_t stale_errors{0};  ///< dispatches to a non-shortest queue
+
+  [[nodiscard]] double spread() const noexcept { return util_max - util_min; }
+};
+
 /// Everything one run measures — the paper's five performance parameters
 /// plus diagnostics.
 struct RunMetrics {
@@ -81,6 +100,7 @@ struct RunMetrics {
   std::uint64_t events{0};
   std::uint64_t packets{0};
   JobDistributions jobs;           ///< per-job fairness summary (see above)
+  ClusterStats cluster;            ///< cluster runs only (see ClusterStats)
 };
 
 /// Couples scheduler, allocator, wormhole network and a job stream into one
@@ -94,6 +114,13 @@ struct RunMetrics {
 class SystemSim {
  public:
   SystemSim(SystemConfig cfg, alloc::Allocator& allocator, sched::Scheduler& scheduler);
+
+  /// External-clock mode (the cluster layer): this mesh shares `clock` with
+  /// its siblings instead of owning a simulator. The caller owns the event
+  /// loop — begin_external_run() / submit() / finish_external_run() replace
+  /// run(); the caller resets and runs `clock` itself.
+  SystemSim(SystemConfig cfg, alloc::Allocator& allocator, sched::Scheduler& scheduler,
+            des::Simulator* clock);
 
   /// Runs a streaming job source to exhaustion (or the completion target).
   /// The source is reset-ready (caller calls source.reset(seed) first); jobs
@@ -113,7 +140,61 @@ class SystemSim {
   /// simulation (see MetricsSink).
   void set_metrics_sink(MetricsSink* sink) noexcept { sink_ = sink; }
 
+  // ---- External-clock (cluster) interface ------------------------------
+  // The owner of the shared clock drives these; the single-mesh run() path
+  // never touches them, so its event trajectory is unchanged.
+
+  /// Per-run reset of everything except the shared clock (which the cluster
+  /// resets once). Call before the first submit() of a run.
+  void begin_external_run();
+
+  /// Injects one job at the current clock time — the dispatcher's hand-off.
+  /// Arrival bookkeeping and scheduling are identical to a source arrival.
+  void submit(workload::Job job);
+
+  /// Computes this mesh's end-of-run metrics at the shared clock's final
+  /// time. Skips the clock-level counter pulls (sim_events,
+  /// calendar_rebuckets, run_wall_s) — the cluster accounts those once.
+  [[nodiscard]] RunMetrics finish_external_run();
+
+  /// Removes and returns the most recently queued job (the work-stealing
+  /// victim's donation), or nullopt when the queue is empty. Leaves every
+  /// running job untouched; updates the queue-length gauge.
+  [[nodiscard]] std::optional<workload::Job> steal_last_queued();
+
+  /// The job steal_last_queued() would remove, without removing it — the
+  /// cluster checks the candidate fits the receiver before committing the
+  /// steal. Null when the queue is empty.
+  [[nodiscard]] const workload::Job* peek_last_queued() const;
+
+  /// Fresh load view for dispatch decisions.
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return scheduler_.size(); }
+  [[nodiscard]] std::size_t running_jobs() const noexcept {
+    return arena_.active() - scheduler_.size();
+  }
+  [[nodiscard]] std::int64_t free_processors() const noexcept {
+    return static_cast<std::int64_t>(allocator_.free_processors());
+  }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint64_t completions() const noexcept { return completed_; }
+
+  /// Completion hook for the cluster layer: called once per completion (any
+  /// warmup gating is the caller's) with the full JobRecord, after the mesh
+  /// has fully accounted the completion and released the job. Raw (fn, ctx)
+  /// like the delivery sink — no type-erased std::function on this path.
+  using CompletionHook = void (*)(void* ctx, SystemSim& mesh, const JobRecord& rec);
+  void set_completion_hook(CompletionHook fn, void* ctx) noexcept {
+    hook_ = fn;
+    hook_ctx_ = ctx;
+  }
+
  private:
+  /// run()'s per-run reset minus the clock reset (shared in cluster mode).
+  void begin_run();
+  /// End-of-run metric finalization; `own_clock` gates the clock-level
+  /// counter pulls and the wall timer.
+  void finalize_run(bool own_clock,
+                    std::chrono::steady_clock::time_point wall_start);
   /// Schedules the source's next arrival instant (if any).
   void pump_arrival();
   void on_arrival(workload::Job job);
@@ -139,9 +220,12 @@ class SystemSim {
   sched::Scheduler& scheduler_;
   MetricsSink* sink_{nullptr};  ///< optional per-job record observer
   obs::Recorder* rec_{nullptr};  ///< cfg_.recorder; hot-path null check
+  CompletionHook hook_{nullptr};  ///< cluster completion hook (null = off)
+  void* hook_ctx_{nullptr};
 
   // Per-run state (rebuilt in run()).
-  des::Simulator sim_;
+  des::Simulator own_sim_;  ///< the single-mesh clock; idle in cluster mode
+  des::Simulator* sim_;     ///< &own_sim_, or the cluster's shared clock
   workload::Source* source_{nullptr};  ///< the run's job stream (non-owning)
   std::unique_ptr<network::WormholeNetwork> net_;
   des::Xoshiro256SS rng_{1};

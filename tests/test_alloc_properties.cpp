@@ -21,7 +21,6 @@ namespace {
 using procsim::alloc::Allocator;
 using procsim::alloc::Placement;
 using procsim::alloc::Request;
-using procsim::core::AllocatorKind;
 using procsim::core::AllocatorSpec;
 using procsim::core::make_allocator;
 using procsim::mesh::Geometry;
@@ -33,15 +32,13 @@ struct Shape {
   std::int32_t l;
 };
 
-using Param = std::tuple<AllocatorKind, Shape, std::uint64_t>;
+using Param = std::tuple<const char*, Shape, std::uint64_t>;
 
 class AllocProperty : public ::testing::TestWithParam<Param> {
  protected:
   [[nodiscard]] std::unique_ptr<Allocator> make() const {
-    const auto [kind, shape, seed] = GetParam();
-    AllocatorSpec spec;
-    spec.kind = kind;
-    return make_allocator(spec, Geometry(shape.w, shape.l), seed);
+    const auto [name, shape, seed] = GetParam();
+    return make_allocator(AllocatorSpec{name}, Geometry(shape.w, shape.l), seed);
   }
   [[nodiscard]] std::uint64_t seed() const { return std::get<2>(GetParam()); }
 };
@@ -186,9 +183,8 @@ TEST_P(AllocProperty, ResetRestoresPristineMesh) {
   EXPECT_TRUE(alloc->allocate(full).has_value());
 }
 
-constexpr AllocatorKind kAllKinds[] = {AllocatorKind::kGabl,     AllocatorKind::kPaging,
-                                       AllocatorKind::kMbs,      AllocatorKind::kFirstFit,
-                                       AllocatorKind::kBestFit,  AllocatorKind::kRandom};
+constexpr const char* kAllKinds[] = {"GABL",     "Paging(0)", "MBS",
+                                     "FirstFit", "BestFit",   "Random"};
 
 INSTANTIATE_TEST_SUITE_P(
     AllStrategies, AllocProperty,
@@ -196,8 +192,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Shape{16, 22}, Shape{8, 8}, Shape{5, 9}),
                        ::testing::Values(11u, 29u)),
     [](const ::testing::TestParamInfo<Param>& info) {
-      AllocatorSpec spec;
-      spec.kind = std::get<0>(info.param);
+      const AllocatorSpec spec{std::get<0>(info.param)};
       const Shape s = std::get<1>(info.param);
       std::string name = spec.label() + "_" + std::to_string(s.w) + "x" +
                          std::to_string(s.l) + "_s" +
@@ -211,9 +206,8 @@ INSTANTIATE_TEST_SUITE_P(
 // guarantees — this is the path the real-workload experiments exercise.
 TEST(AllocTraceShapes, AllNonContiguousHandleArbitraryP) {
   const Geometry g(16, 22);
-  for (const auto kind : {AllocatorKind::kGabl, AllocatorKind::kPaging, AllocatorKind::kMbs}) {
-    AllocatorSpec spec;
-    spec.kind = kind;
+  for (const char* name : {"GABL", "Paging(0)", "MBS"}) {
+    const AllocatorSpec spec{name};
     const auto alloc = make_allocator(spec, g, 1);
     for (std::int32_t p = 1; p <= 352; p += 7) {
       const auto [w, l] = procsim::workload::shape_for_processors(p, g);

@@ -2,13 +2,13 @@
 
 #include <sstream>
 
+#include "alloc/registry.hpp"
 #include "core/experiment.hpp"
 #include "core/figure_runner.hpp"
 
 namespace {
 
 using procsim::core::AggregateResult;
-using procsim::core::AllocatorKind;
 using procsim::core::AllocatorSpec;
 using procsim::core::build_jobs;
 using procsim::core::ExperimentConfig;
@@ -24,25 +24,29 @@ using procsim::core::RunOptions;
 using procsim::core::WorkloadKind;
 using procsim::mesh::Geometry;
 
-TEST(Factories, AllAllocatorKindsConstructible) {
-  for (const auto kind :
-       {AllocatorKind::kGabl, AllocatorKind::kPaging, AllocatorKind::kMbs,
-        AllocatorKind::kFirstFit, AllocatorKind::kBestFit, AllocatorKind::kRandom}) {
-    AllocatorSpec spec;
-    spec.kind = kind;
+TEST(Factories, AllKnownAllocatorsConstructible) {
+  for (const auto& name : procsim::alloc::known_allocators()) {
+    const AllocatorSpec spec{name};
     const auto a = make_allocator(spec, Geometry(8, 8), 1);
     ASSERT_NE(a, nullptr);
     EXPECT_EQ(a->free_processors(), 64);
-    EXPECT_FALSE(a->name().empty());
+    EXPECT_EQ(a->name(), spec.label());
   }
+}
+
+TEST(Factories, AllocatorSpecValidatesAndNormalizes) {
+  EXPECT_EQ(AllocatorSpec{"gabl"}.label(), "GABL");
+  EXPECT_EQ(AllocatorSpec{"paging(2)"}.label(), "Paging(2)");
+  EXPECT_THROW(AllocatorSpec{"no_such_allocator"}, std::invalid_argument);
+  EXPECT_EQ(AllocatorSpec{}.label(), "GABL");  // default
 }
 
 TEST(Factories, SeriesLabels) {
   ExperimentConfig cfg;
-  cfg.allocator.kind = AllocatorKind::kPaging;
+  cfg.allocator = AllocatorSpec{"Paging(0)"};
   cfg.scheduler = procsim::sched::Policy::kSsd;
   EXPECT_EQ(cfg.series_label(), "Paging(0)(SSD)");
-  cfg.allocator.kind = AllocatorKind::kGabl;
+  cfg.allocator = AllocatorSpec{"GABL"};
   cfg.scheduler = procsim::sched::Policy::kFcfs;
   EXPECT_EQ(cfg.series_label(), "GABL(FCFS)");
 }

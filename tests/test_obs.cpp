@@ -24,7 +24,6 @@
 
 namespace {
 
-using procsim::core::AllocatorKind;
 using procsim::core::ExperimentConfig;
 using procsim::core::JobRecordStore;
 using procsim::core::RunMetrics;
@@ -382,7 +381,7 @@ TEST(Accounting, BackfillExportsReservationCounters) {
 
 TEST(Accounting, MbsRunBumpsFallbacksUnderPressure) {
   ExperimentConfig cfg = small_config(29);
-  cfg.allocator.kind = AllocatorKind::kMbs;
+  cfg.allocator = procsim::core::AllocatorSpec{"MBS"};
   cfg.workload.stochastic.load = 0.05;
   Recorder rec;
   (void)run_probed(cfg, &rec, nullptr);

@@ -50,23 +50,24 @@ TEST(AllocRegistry, PagingSizeIndexReachesAllocatorName) {
 }
 
 TEST(CoreRegistry, SpecLabelIsARegistryName) {
-  // core::make_allocator routes AllocatorSpec through the string registry,
-  // so every label must parse back to an equivalent spec.
-  using procsim::core::AllocatorKind;
+  // core::AllocatorSpec is a thin wrapper over the string registry: every
+  // known name round-trips label() -> parse_allocator_spec -> label(), and
+  // the constructed allocator reports the label verbatim.
   using procsim::core::AllocatorSpec;
-  for (const auto kind :
-       {AllocatorKind::kGabl, AllocatorKind::kPaging, AllocatorKind::kMbs,
-        AllocatorKind::kFirstFit, AllocatorKind::kBestFit, AllocatorKind::kRandom}) {
-    AllocatorSpec spec;
-    spec.kind = kind;
-    spec.paging_size_index = kind == AllocatorKind::kPaging ? 2 : 0;
+  for (std::string name : procsim::alloc::known_allocators()) {
+    if (name == "Paging(0)") name = "Paging(2)";  // exercise a parameterized name
+    const AllocatorSpec spec{name};
+    EXPECT_EQ(spec.label(), name);
     const auto parsed = procsim::core::parse_allocator_spec(spec.label());
     ASSERT_TRUE(parsed.has_value()) << spec.label();
-    EXPECT_EQ(parsed->kind, spec.kind);
-    EXPECT_EQ(parsed->paging_size_index, spec.paging_size_index);
+    EXPECT_EQ(parsed->label(), spec.label());
+    EXPECT_TRUE(*parsed == spec);
     const auto a = procsim::core::make_allocator(spec, Geometry(8, 8), 1);
     EXPECT_EQ(a->name(), spec.label());
   }
+  // Case-insensitive input normalizes; unknown names don't parse.
+  EXPECT_EQ(procsim::core::parse_allocator_spec("bestfit")->label(), "BestFit");
+  EXPECT_FALSE(procsim::core::parse_allocator_spec("NoSuch").has_value());
 }
 
 TEST(SchedRegistry, PolicyNamesRoundTrip) {

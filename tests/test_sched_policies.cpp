@@ -629,7 +629,7 @@ TEST(Policies, BackfillImprovesTurnaroundUnderBlockedHeads) {
   procsim::core::ExperimentConfig cfg;
   cfg.sys.geom = procsim::mesh::Geometry(8, 8);
   cfg.sys.target_completions = 150;
-  cfg.allocator.kind = procsim::core::AllocatorKind::kFirstFit;  // fragments
+  cfg.allocator = procsim::core::AllocatorSpec{"FirstFit"};  // fragments
   cfg.workload.kind = procsim::core::WorkloadKind::kStochastic;
   cfg.workload.job_count = 180;
   cfg.workload.stochastic.load = 0.1;
